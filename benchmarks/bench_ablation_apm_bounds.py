@@ -1,0 +1,41 @@
+"""Ablation: how the APM bounds trade adaptation overhead against read savings.
+
+This is not a paper figure; it backs the design discussion of §3.2.2/§6.2 (the
+choice of Mmin/Mmax controls how aggressive reorganization is) with a sweep
+over Mmax on the simulation workload.
+"""
+
+from repro.bench.reporting import format_table
+from repro.simulation.runner import run_single
+from repro.util.units import KB
+from repro.workloads.generators import uniform_workload
+
+
+def _sweep() -> str:
+    workload = uniform_workload(1500, (0, 1_000_000), 0.01, seed=11)
+    rows = []
+    for m_max_kb in (6, 12, 24, 48, 96):
+        result = run_single(
+            workload,
+            strategy="segmentation",
+            model_name="apm",
+            m_min=3 * KB,
+            m_max=m_max_kb * KB,
+            seed=11,
+        )
+        summary = result.summary()
+        rows.append(
+            {
+                "Mmax (KB)": m_max_kb,
+                "avg read (KB)": summary.average_read_kb,
+                "writes (KB)": summary.total_writes_bytes / KB,
+                "segments": summary.final_segment_count,
+            }
+        )
+    return format_table("Ablation: APM Mmax sweep (uniform, selectivity 0.01)", rows)
+
+
+def test_ablation_apm_bounds(benchmark, save_result):
+    text = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    save_result("ablation_apm_bounds", text)
+    assert "Mmax (KB)" in text

@@ -1,0 +1,48 @@
+"""Ablation: adaptive replication under a storage budget (paper §8 extension).
+
+The paper leaves replica storage limits as future work; this benchmark shows
+the extension in action: with a budget, peak replica storage stays bounded
+while queries remain correct, at the price of extra reads when evicted
+replicas have to be rebuilt from their ancestors.
+"""
+
+from repro.bench.reporting import format_table
+from repro.core.models import AdaptivePageModel
+from repro.core.replication import ReplicatedColumn
+from repro.util.units import KB
+from repro.workloads.generators import make_column, uniform_workload
+
+
+def _run(budget_factor: float | None) -> dict[str, object]:
+    values = make_column(100_000, 1_000_000, seed=5)
+    column_bytes = values.size * values.dtype.itemsize
+    budget = None if budget_factor is None else budget_factor * column_bytes
+    column = ReplicatedColumn(
+        values,
+        model=AdaptivePageModel(3 * KB, 12 * KB),
+        storage_budget=budget,
+        time_phases=False,
+    )
+    workload = uniform_workload(1500, (0, 1_000_000), 0.1, seed=5)
+    for query in workload:
+        column.select(query.low, query.high)
+    return {
+        "budget": "unbounded" if budget_factor is None else f"{budget_factor:.2f}x column",
+        "peak storage (KB)": column.peak_storage_bytes / KB,
+        "final storage (KB)": column.storage_bytes / KB,
+        "avg read (KB)": column.history.average("reads_bytes") / KB,
+    }
+
+
+def _sweep() -> str:
+    rows = [_run(None), _run(1.5), _run(1.2)]
+    return format_table("Ablation: replication storage budget", rows)
+
+
+def test_ablation_storage_budget(benchmark, save_result):
+    text = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    save_result("ablation_storage_budget", text)
+
+    unbounded = _run(None)
+    tight = _run(1.2)
+    assert tight["peak storage (KB)"] <= unbounded["peak storage (KB)"] * 1.05

@@ -1,0 +1,9 @@
+"""Figure 2: the Gaussian Dice decision function O(x) for several sigmas."""
+
+from repro.bench import experiments
+
+
+def test_fig02_gaussian_dice(benchmark, save_result):
+    text = benchmark.pedantic(experiments.figure_2, rounds=1, iterations=1)
+    save_result("fig02_gaussian_dice", text)
+    assert "sigma=0.5" in text

@@ -1,0 +1,21 @@
+"""Figure 5: cumulative memory writes due to segment materialization (uniform).
+
+Expected shape (paper §6.1.1): adaptive replication needs fewer writes than
+adaptive segmentation for both models, with a stable factor of roughly 2-3 for
+the deterministic APM model; APM stops reorganizing after an initial number of
+queries under a uniform workload.
+"""
+
+from repro.bench import experiments
+from repro.bench.harness import simulation_grid
+
+
+def test_fig05_cumulative_writes_uniform(benchmark, save_result):
+    text = benchmark.pedantic(experiments.figure_5, rounds=1, iterations=1)
+    save_result("fig05_writes_uniform", text)
+
+    for selectivity in (0.1, 0.01):
+        grid = simulation_grid("uniform", selectivity)
+        segmentation_writes = grid["APM Segm"].summary().total_writes_bytes
+        replication_writes = grid["APM Repl"].summary().total_writes_bytes
+        assert replication_writes < segmentation_writes

@@ -1,0 +1,21 @@
+"""Figure 6: cumulative memory writes due to segment materialization (Zipf).
+
+Expected shape (paper §6.1.1): replication again writes less than
+segmentation; compared with the uniform workload, reorganization keeps being
+triggered much longer because skewed queries hit previously untouched areas
+of the domain late in the run.
+"""
+
+from repro.bench import experiments
+from repro.bench.harness import simulation_grid
+
+
+def test_fig06_cumulative_writes_zipf(benchmark, save_result):
+    text = benchmark.pedantic(experiments.figure_6, rounds=1, iterations=1)
+    save_result("fig06_writes_zipf", text)
+
+    for selectivity in (0.1, 0.01):
+        grid = simulation_grid("zipf", selectivity)
+        segmentation_writes = grid["APM Segm"].summary().total_writes_bytes
+        replication_writes = grid["APM Repl"].summary().total_writes_bytes
+        assert replication_writes < segmentation_writes

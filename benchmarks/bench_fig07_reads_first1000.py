@@ -1,0 +1,25 @@
+"""Figure 7: memory reads per query during the first 1000 queries (uniform, 0.1).
+
+Expected shape (paper §6.1.2): reads drop very fast for adaptive segmentation;
+the replication curves show initial spikes up to a full column scan whenever a
+query hits an area still covered only by virtual segments, and stabilise as
+the workload progresses.
+"""
+
+import numpy as np
+
+from repro.bench import experiments
+from repro.bench.harness import simulation_grid
+
+
+def test_fig07_reads_first_1000_queries(benchmark, save_result):
+    text = benchmark.pedantic(experiments.figure_7, rounds=1, iterations=1)
+    save_result("fig07_reads_first1000", text)
+
+    grid = simulation_grid("uniform", 0.1)
+    column_bytes = grid["APM Segm"].column_bytes
+    for label, result in grid.items():
+        reads = np.asarray(result.reads_series()[:1000])
+        # Early queries scan (nearly) the whole column, late ones much less.
+        assert reads[:3].max() >= 0.5 * column_bytes
+        assert np.median(reads[-200:]) < 0.25 * column_bytes, label

@@ -1,0 +1,25 @@
+"""Figure 10: average adaptation vs selection time per scheme and workload.
+
+Expected shape (paper §6.2): the adaptation overhead of the APM schemes is
+smaller than Gaussian Dice's (APM is more conservative about splitting small
+segments); APM 1-5 adapts more than APM 1-25 but gains more on selection
+because it creates smaller segments; every adaptive scheme beats the
+non-segmented baseline on selection time.
+"""
+
+from repro.bench import experiments
+from repro.bench.harness import SCHEME_ORDER, skyserver_engine_run
+
+
+def test_fig10_adaptation_vs_selection(benchmark, save_result):
+    text = benchmark.pedantic(experiments.figure_10, rounds=1, iterations=1)
+    save_result("fig10_adaptation_selection", text)
+
+    for workload in ("random", "skewed", "changing"):
+        runs = {scheme: skyserver_engine_run(workload, scheme) for scheme in SCHEME_ORDER}
+        baseline_selection = runs["NoSegm"].average_ms()["selection_ms"]
+        for scheme in ("APM 1-25", "APM 1-5"):
+            adaptive_selection = runs[scheme].average_ms()["selection_ms"]
+            assert adaptive_selection < baseline_selection, (workload, scheme)
+        # The baseline never adapts.
+        assert runs["NoSegm"].average_ms()["adaptation_ms"] == 0.0

@@ -1,0 +1,24 @@
+"""Figures 11/12: cumulative and moving-average query time, random workload.
+
+Expected shape (paper §6.2): the adaptive schemes pay a reorganization
+overhead on the first queries but provide a better response after a few tens
+of queries; by the end of the 200-query run their cumulative time is below
+the non-segmented baseline.
+"""
+
+from repro.bench import experiments
+from repro.bench.harness import skyserver_engine_run
+
+
+def test_fig11_12_random_workload(benchmark, save_result):
+    text = benchmark.pedantic(experiments.figure_11_12, rounds=1, iterations=1)
+    save_result("fig11_12_random_workload", text)
+
+    baseline = skyserver_engine_run("random", "NoSegm")
+    tail_start = 3 * len(baseline.total_seconds) // 4
+    for scheme in ("APM 1-25", "APM 1-5"):
+        adaptive = skyserver_engine_run("random", scheme)
+        # After amortisation the adaptive schemes answer queries faster.
+        tail_adaptive = sum(adaptive.total_seconds[tail_start:])
+        tail_baseline = sum(baseline.total_seconds[tail_start:])
+        assert tail_adaptive < tail_baseline, scheme

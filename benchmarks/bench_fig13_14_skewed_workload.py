@@ -1,0 +1,29 @@
+"""Figures 13/14: cumulative and moving-average query time, skewed workload.
+
+Expected shape (paper §6.2): the APM schemes have an even smaller total
+overhead than under the random workload because reorganization is confined to
+a very limited area of the domain, while Gaussian Dice hits its worst case —
+near-identical skewed queries chop very small segments.
+"""
+
+from repro.bench import experiments
+from repro.bench.harness import skyserver_engine_run
+
+
+def test_fig13_14_skewed_workload(benchmark, save_result):
+    text = benchmark.pedantic(experiments.figure_13_14, rounds=1, iterations=1)
+    save_result("fig13_14_skewed_workload", text)
+
+    baseline = skyserver_engine_run("skewed", "NoSegm")
+    tail_start = 3 * len(baseline.total_seconds) // 4
+    for scheme in ("APM 1-25", "APM 1-5"):
+        adaptive = skyserver_engine_run("skewed", scheme)
+        tail_adaptive = sum(adaptive.total_seconds[tail_start:])
+        tail_baseline = sum(baseline.total_seconds[tail_start:])
+        assert tail_adaptive < tail_baseline, scheme
+
+    # APM adapts less under skew than under the random workload (less of the
+    # domain ever needs reorganizing).
+    random_apm = skyserver_engine_run("random", "APM 1-25")
+    skewed_apm = skyserver_engine_run("skewed", "APM 1-25")
+    assert sum(skewed_apm.adaptation_seconds) <= sum(random_apm.adaptation_seconds) * 1.5

@@ -1,0 +1,27 @@
+"""Table 2: segment statistics per workload and scheme.
+
+Expected shape (paper §6.2): the smaller upper bound of APM 1-5 produces more
+and smaller segments than APM 1-25; under the skewed workload APM creates far
+fewer segments than under the random workload (only the hot areas are split),
+while Gaussian Dice fragments the hot areas into many small segments.
+"""
+
+from repro.bench import experiments
+from repro.bench.harness import skyserver_engine_run
+
+
+def test_table2_segment_statistics(benchmark, save_result):
+    text = benchmark.pedantic(experiments.table_2, rounds=1, iterations=1)
+    save_result("table2_segment_stats", text)
+
+    random_small = skyserver_engine_run("random", "APM 1-5").segment_stats
+    random_large = skyserver_engine_run("random", "APM 1-25").segment_stats
+    assert random_small is not None and random_large is not None
+    # A tighter Mmax forces more, smaller segments.
+    assert random_small.segment_count >= random_large.segment_count
+    assert random_small.average_bytes <= random_large.average_bytes
+
+    skewed_large = skyserver_engine_run("skewed", "APM 1-25").segment_stats
+    assert skewed_large is not None
+    # Skewed access only reorganizes the hot areas: far fewer segments.
+    assert skewed_large.segment_count <= random_large.segment_count

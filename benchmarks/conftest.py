@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one figure or table of the paper.  Because the
+interesting output is the series/table itself (not only the wall-clock time
+pytest-benchmark records), each benchmark also writes its formatted output to
+``results/<name>.txt`` at the repository root via the ``save_result`` fixture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """The directory where formatted experiment outputs are written."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir: Path):
+    """Persist (and echo) the formatted output of one experiment."""
+
+    def _save(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` also works on minimal/offline environments where the
+``wheel`` package is unavailable and pip falls back to the legacy editable
+install path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro — a reproduction of "Self-organizing Strategies for a Column-store Database".
+
+The package implements the paper's two workload-driven self-organizing
+techniques for a column-store — **adaptive segmentation** and **adaptive
+replication** — together with the substrates they rely on: a MonetDB-like
+column-store engine (BAT storage, a MAL interpreter, a tactical optimizer
+with a segment optimizer and a SQL front-end), an architecture-conscious
+simulator with a constrained memory buffer, workload generators and a
+benchmark harness reproducing every figure and table of the evaluation.
+
+Quickstart
+----------
+
+>>> import numpy as np
+>>> from repro import SegmentedColumn, AdaptivePageModel
+>>> values = np.random.default_rng(0).integers(0, 1_000_000, size=100_000).astype(np.int32)
+>>> column = SegmentedColumn(values, model=AdaptivePageModel(m_min=3072, m_max=12288))
+>>> result = column.select(100_000, 200_000)
+>>> result.count == int(((values >= 100_000) & (values < 200_000)).sum())
+True
+"""
+
+from repro.core import (
+    AdaptivePageModel,
+    AutoTunedAPM,
+    GaussianDice,
+    IOAccountant,
+    QueryLog,
+    QueryStats,
+    ReplicatedColumn,
+    SegmentedColumn,
+    SelectionResult,
+    UnsegmentedColumn,
+    ValueRange,
+    model_from_name,
+    segment_statistics,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptivePageModel",
+    "AutoTunedAPM",
+    "GaussianDice",
+    "IOAccountant",
+    "QueryLog",
+    "QueryStats",
+    "ReplicatedColumn",
+    "SegmentedColumn",
+    "SelectionResult",
+    "UnsegmentedColumn",
+    "ValueRange",
+    "model_from_name",
+    "segment_statistics",
+    "__version__",
+]

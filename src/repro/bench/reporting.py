@@ -1,0 +1,86 @@
+"""Rendering helpers: turn experiment data into paper-shaped text output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def downsample(values: Sequence[float], max_points: int = 20) -> list[tuple[int, float]]:
+    """Pick ~``max_points`` evenly spaced (index, value) samples from a series.
+
+    The benchmarks print long per-query series (10 000 points in the paper's
+    figures); sampling keeps the output readable while preserving the shape.
+    Indices are 1-based to match the paper's query counters.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return []
+    if arr.size <= max_points:
+        return [(i + 1, float(v)) for i, v in enumerate(arr)]
+    positions = np.unique(np.linspace(0, arr.size - 1, max_points).astype(int))
+    return [(int(i) + 1, float(arr[i])) for i in positions]
+
+
+def format_series(
+    title: str,
+    series_by_label: dict[str, Sequence[float]],
+    *,
+    max_points: int = 15,
+    unit: str = "",
+) -> str:
+    """Render several aligned series as one fixed-width table.
+
+    The output imitates reading values off the paper's figures: one row per
+    sampled query index, one column per strategy.
+    """
+    labels = list(series_by_label)
+    if not labels:
+        return f"== {title} ==\n(no data)"
+    sampled = {label: dict(downsample(series, max_points)) for label, series in series_by_label.items()}
+    indices = sorted({index for points in sampled.values() for index in points})
+    header = f"{'query':>8s} | " + " | ".join(f"{label:>14s}" for label in labels)
+    rule = "-" * len(header)
+    lines = [f"== {title} ==" + (f"  [{unit}]" if unit else ""), header, rule]
+    for index in indices:
+        cells = []
+        for label in labels:
+            value = sampled[label].get(index)
+            cells.append(f"{value:>14.4g}" if value is not None else " " * 14)
+        lines.append(f"{index:>8d} | " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+def format_table(
+    title: str,
+    rows: list[dict[str, object]],
+    *,
+    columns: list[str] | None = None,
+    floatfmt: str = ".1f",
+) -> str:
+    """Render a list of row dictionaries as a fixed-width table (Tables 1/2)."""
+    if not rows:
+        return f"== {title} ==\n(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {
+        column: max(len(column), *(len(_fmt(row.get(column), floatfmt)) for row in rows))
+        for column in columns
+    }
+    header = " | ".join(f"{column:>{widths[column]}s}" for column in columns)
+    rule = "-+-".join("-" * widths[column] for column in columns)
+    lines = [f"== {title} ==", header, rule]
+    for row in rows:
+        lines.append(
+            " | ".join(f"{_fmt(row.get(column), floatfmt):>{widths[column]}s}" for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: object, floatfmt: str) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)

@@ -1,0 +1,94 @@
+"""Baseline: the conventional, positionally organised column.
+
+The paper's prototype experiments compare the adaptive schemes against a
+non-segmented MonetDB column ("NoSegm" in Figures 10–16): every range
+selection scans the entire column.  This class mirrors the adaptive columns'
+interface (``select``, ``history``, accounting) so the harness can treat all
+strategies uniformly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.accounting import IOAccountant, QueryLog, QueryStats
+from repro.core.ranges import ValueRange, domain_of
+from repro.core.segment import SelectionResult, Segment
+
+
+class UnsegmentedColumn:
+    """A column stored as one positional array; selections always full-scan."""
+
+    strategy_name = "unsegmented"
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        *,
+        oids: np.ndarray | None = None,
+        domain: tuple[float, float] | None = None,
+        accountant: IOAccountant | None = None,
+        keep_history: bool = True,
+        time_phases: bool = True,
+    ) -> None:
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError("a column must be a one-dimensional array")
+        if values.size == 0:
+            raise ValueError("cannot build a column from an empty array")
+        self.dtype = values.dtype
+        self.value_width = int(values.dtype.itemsize)
+        self.domain = (
+            ValueRange(float(domain[0]), float(domain[1])) if domain is not None else domain_of(values)
+        )
+        self._segment = Segment(self.domain, values, oids, value_width=self.value_width)
+        self.total_bytes = self._segment.size_bytes
+        self.accountant = accountant if accountant is not None else IOAccountant()
+        self.history: QueryLog | None = QueryLog() if keep_history else None
+        self._time_phases = time_phases
+        self._queries_executed = 0
+
+    @property
+    def segment_count(self) -> int:
+        """Always one: the whole column."""
+        return 1
+
+    @property
+    def segments(self) -> list[Segment]:
+        """The single segment holding the whole column."""
+        return [self._segment]
+
+    @property
+    def storage_bytes(self) -> float:
+        """Bytes used for the column payload."""
+        return self._segment.size_bytes
+
+    def select(self, low: float, high: float) -> SelectionResult:
+        """Answer ``low <= value < high`` with a full column scan."""
+        query = ValueRange(float(low), float(high))
+        stats = QueryStats(index=self._queries_executed, low=query.low, high=query.high)
+        self.accountant.attach(stats)
+        try:
+            self.accountant.record_read(self._segment.size_bytes, self._segment)
+            started = time.perf_counter() if self._time_phases else 0.0
+            result = self._segment.select(query)
+            if self._time_phases:
+                stats.selection_seconds = time.perf_counter() - started
+        finally:
+            self.accountant.detach()
+        stats.result_count = result.count
+        stats.segment_count = 1
+        stats.storage_bytes = self.storage_bytes
+        self._queries_executed += 1
+        if self.history is not None:
+            self.history.append(stats)
+        return result
+
+    def check_invariants(self) -> None:
+        """The baseline has a single invariant: its payload matches its range."""
+        self._segment.check_invariants()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UnsegmentedColumn(bytes={self.total_bytes:g})"

@@ -1,0 +1,121 @@
+"""The sparse segment meta-index.
+
+The paper's segment optimizer keeps an in-memory catalogue of segment ranges
+and sizes so that it can pre-select the segments overlapping a predicate and
+estimate memory footprints *without touching the data* (§3.1).  This module
+implements that catalogue for an ordered, non-overlapping list of segments
+(the adaptive-segmentation layout).
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable, Iterator
+
+from repro.core.ranges import ValueRange
+from repro.core.segment import Segment
+
+
+class SegmentMetaIndex:
+    """Ordered sparse index over non-overlapping segments of one column.
+
+    The index maintains the segments sorted by their lower bound and supports
+    the three operations the segment optimizer needs: overlap lookup for a
+    predicate range, replacement of a segment by its sub-segments after a
+    split, and footprint estimation for a predicate.
+    """
+
+    def __init__(self, segments: Iterable[Segment] = ()) -> None:
+        self._segments: list[Segment] = []
+        self._lows: list[float] = []
+        for segment in segments:
+            self.add(segment)
+
+    # -- container protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __iter__(self) -> Iterator[Segment]:
+        return iter(self._segments)
+
+    def __getitem__(self, index: int) -> Segment:
+        return self._segments[index]
+
+    @property
+    def segments(self) -> list[Segment]:
+        """The segments in value order (do not mutate)."""
+        return list(self._segments)
+
+    # -- maintenance -------------------------------------------------------
+
+    def add(self, segment: Segment) -> None:
+        """Insert a segment, keeping the list ordered and non-overlapping."""
+        position = bisect.bisect_left(self._lows, segment.vrange.low)
+        for neighbour_index in (position - 1, position):
+            if 0 <= neighbour_index < len(self._segments):
+                neighbour = self._segments[neighbour_index]
+                if neighbour.vrange.overlaps(segment.vrange):
+                    raise ValueError(
+                        f"segment {segment.vrange} overlaps existing {neighbour.vrange}"
+                    )
+        self._segments.insert(position, segment)
+        self._lows.insert(position, segment.vrange.low)
+
+    def replace(self, old: Segment, new_segments: list[Segment]) -> None:
+        """Replace ``old`` with its sub-segments (after an adaptive split)."""
+        try:
+            position = self._segments.index(old)
+        except ValueError as exc:
+            raise KeyError(f"segment {old.vrange} is not in the index") from exc
+        del self._segments[position]
+        del self._lows[position]
+        for offset, segment in enumerate(sorted(new_segments, key=lambda s: s.vrange.low)):
+            self._segments.insert(position + offset, segment)
+            self._lows.insert(position + offset, segment.vrange.low)
+
+    # -- lookups ------------------------------------------------------------
+
+    def overlapping(self, vrange: ValueRange) -> list[Segment]:
+        """Segments whose range overlaps ``vrange`` (in value order)."""
+        if vrange.is_empty or not self._segments:
+            return []
+        start = bisect.bisect_right(self._lows, vrange.low) - 1
+        start = max(start, 0)
+        result: list[Segment] = []
+        for segment in self._segments[start:]:
+            if segment.vrange.low >= vrange.high:
+                break
+            if segment.vrange.overlaps(vrange):
+                result.append(segment)
+        return result
+
+    def covering(self, value: float) -> Segment | None:
+        """The segment containing ``value``, or ``None``."""
+        position = bisect.bisect_right(self._lows, value) - 1
+        if position < 0:
+            return None
+        segment = self._segments[position]
+        return segment if segment.vrange.contains(value) else None
+
+    def estimated_footprint_bytes(self, vrange: ValueRange) -> float:
+        """Estimated bytes that must be read to answer a predicate on ``vrange``.
+
+        This is the quantity the tactical optimizer uses for memory allocation
+        decisions: the total size of all overlapping segments.
+        """
+        return sum(segment.size_bytes for segment in self.overlapping(vrange))
+
+    # -- integrity -----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify ordering, adjacency bookkeeping and per-segment invariants."""
+        for first, second in zip(self._segments, self._segments[1:]):
+            if first.vrange.high > second.vrange.low:
+                raise AssertionError(
+                    f"segments {first.vrange} and {second.vrange} overlap or are out of order"
+                )
+        if [s.vrange.low for s in self._segments] != self._lows:
+            raise AssertionError("meta-index low-bound cache is stale")
+        for segment in self._segments:
+            segment.check_invariants()

@@ -1,0 +1,324 @@
+"""Adaptive replication (paper §5, Algorithms 2-5).
+
+Instead of reorganizing a column in place, adaptive replication keeps query
+results as *replica segments* arranged in a replica tree.  Per query the
+system:
+
+1. finds the minimal covering set of materialized segments (Algorithm 3),
+2. analyses each covering segment's subtree with the segmentation model and
+   decides which replicas to create (Algorithm 4),
+3. materializes the chosen replicas (and the query result) with a single scan
+   of the covering segment (Algorithm 2), and
+4. drops segments that are fully replicated by their children, releasing
+   storage (Algorithm 5).
+
+Compared with adaptive segmentation the reorganization overhead is smaller —
+only pieces queries expressed interest in are ever copied — at the price of
+extra storage for the replicas.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.accounting import IOAccountant, QueryLog, QueryStats
+from repro.core.models import SegmentationModel, SplitAction
+from repro.core.ranges import ValueRange, domain_of
+from repro.core.replica_tree import ReplicaNode, ReplicaTree
+from repro.core.segment import SelectionResult, Segment
+
+
+class ReplicatedColumn:
+    """A column augmented with a workload-driven replica tree.
+
+    Parameters mirror :class:`repro.core.segmentation.SegmentedColumn`; the
+    extra ``storage_budget`` implements the paper's future-work item of
+    bounding replica storage (least-recently-used replicas are released when
+    the budget is exceeded).
+    """
+
+    strategy_name = "replication"
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        *,
+        model: SegmentationModel,
+        oids: np.ndarray | None = None,
+        domain: tuple[float, float] | None = None,
+        accountant: IOAccountant | None = None,
+        keep_history: bool = True,
+        time_phases: bool = True,
+        storage_budget: float | None = None,
+    ) -> None:
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError("a column must be a one-dimensional array")
+        if values.size == 0:
+            raise ValueError("cannot build a replicated column from an empty array")
+        self.model = model
+        self.dtype = values.dtype
+        self.value_width = int(values.dtype.itemsize)
+        self.domain = (
+            ValueRange(float(domain[0]), float(domain[1])) if domain is not None else domain_of(values)
+        )
+        root_segment = Segment(self.domain, values, oids, value_width=self.value_width)
+        root_segment.check_invariants()
+        self.tree = ReplicaTree(root_segment)
+        self.total_bytes = root_segment.size_bytes
+        self.accountant = accountant if accountant is not None else IOAccountant()
+        self.history: QueryLog | None = QueryLog() if keep_history else None
+        self._time_phases = time_phases
+        self._queries_executed = 0
+        if storage_budget is not None and storage_budget < self.total_bytes:
+            raise ValueError(
+                "storage_budget must be at least the column size "
+                f"({self.total_bytes:g} bytes), got {storage_budget:g}"
+            )
+        self.storage_budget = storage_budget
+        self._last_access: dict[int, int] = {}
+        self.peak_storage_bytes = self.total_bytes
+
+    # -- public API --------------------------------------------------------
+
+    @property
+    def storage_bytes(self) -> float:
+        """Total bytes held by materialized replica segments (Figures 8/9)."""
+        return self.tree.storage_bytes
+
+    @property
+    def segment_count(self) -> int:
+        """Number of nodes in the replica tree (materialized and virtual)."""
+        return self.tree.node_count
+
+    @property
+    def segments(self) -> list[Segment]:
+        """The segments of every replica-tree node (value order not guaranteed)."""
+        return [node.segment for node in self.tree.walk()]
+
+    @property
+    def tree_depth(self) -> int:
+        """Depth of the replica tree (a §6.1.3 quantity)."""
+        return self.tree.depth
+
+    def select(self, low: float, high: float) -> SelectionResult:
+        """Answer ``low <= value < high`` and adapt the replica tree."""
+        query = ValueRange(float(low), float(high)).intersect(self.domain)
+        stats = QueryStats(index=self._queries_executed, low=float(low), high=float(high))
+        self.accountant.attach(stats)
+        try:
+            if query.is_empty:
+                result = SelectionResult.empty(self.dtype)
+            else:
+                result = self._execute(query, stats)
+        finally:
+            self.accountant.detach()
+        stats.result_count = result.count
+        stats.segment_count = self.segment_count
+        stats.storage_bytes = self.storage_bytes
+        self.peak_storage_bytes = max(self.peak_storage_bytes, stats.storage_bytes)
+        self._queries_executed += 1
+        if self.history is not None:
+            self.history.append(stats)
+        self.model.observe(result.count * self.value_width)
+        return result
+
+    # -- Algorithm 2: the per-query driver -----------------------------------
+
+    def _now(self) -> float:
+        return time.perf_counter() if self._time_phases else 0.0
+
+    def _execute(self, query: ValueRange, stats: QueryStats) -> SelectionResult:
+        cover = self.get_cover(query)
+        parts: list[SelectionResult] = []
+        for node in cover:
+            self.accountant.record_read(node.size_bytes, node.segment)
+            self._last_access[id(node)] = self._queries_executed
+
+            started = self._now()
+            parts.append(node.segment.select(query))
+            stats.selection_seconds += self._now() - started
+
+            started = self._now()
+            to_materialize = self.analyze_replicas(query, node)
+            self._materialize(node, to_materialize, stats)
+            stats.adaptation_seconds += self._now() - started
+
+        started = self._now()
+        result = SelectionResult.concatenate(parts, self.dtype)
+        stats.selection_seconds += self._now() - started
+
+        if self.storage_budget is not None:
+            started = self._now()
+            self._enforce_budget(stats)
+            stats.adaptation_seconds += self._now() - started
+        return result
+
+    # -- Algorithm 3: minimal covering set ---------------------------------------
+
+    def get_cover(self, query: ValueRange) -> list[ReplicaNode]:
+        """Minimal set of materialized segments covering the query range.
+
+        The recursion prefers the deepest materialized descendants and
+        backtracks to an ancestor whenever a subtree would require a virtual
+        segment (which holds no data).
+        """
+        cover: list[ReplicaNode] = []
+        for root in self.tree.roots_overlapping(query):
+            sub = self._cover_node(root, query)
+            if sub is None:
+                raise RuntimeError(
+                    f"replica tree cannot cover query {query}: invariant violated"
+                )
+            cover.extend(sub)
+        return cover
+
+    def _cover_node(self, node: ReplicaNode, query: ValueRange) -> list[ReplicaNode] | None:
+        if node.is_leaf:
+            return [node] if node.materialized else None
+        collected: list[ReplicaNode] = []
+        for child in node.children:
+            if not child.vrange.overlaps(query):
+                continue
+            sub = self._cover_node(child, query)
+            if sub is None:
+                # Backtrack: some part of the query below is only virtual.
+                return [node] if node.materialized else None
+            collected.extend(sub)
+        return collected
+
+    # -- Algorithm 4: replica analysis ------------------------------------------
+
+    def analyze_replicas(self, query: ValueRange, cover_node: ReplicaNode) -> list[ReplicaNode]:
+        """Decide which replicas to create below ``cover_node`` for this query.
+
+        Returns the nodes whose payload should be materialized from the
+        covering segment's scan: existing virtual leaves that are materialized
+        without splitting (case 0) and newly created query-side children
+        (cases 1-4).
+        """
+        to_materialize: list[ReplicaNode] = []
+        self._analyze_node(cover_node, query, to_materialize)
+        return to_materialize
+
+    def _analyze_node(
+        self, node: ReplicaNode, query: ValueRange, to_materialize: list[ReplicaNode]
+    ) -> None:
+        if not node.is_leaf:
+            for child in node.children:
+                if child.vrange.overlaps(query):
+                    self._analyze_node(child, query, to_materialize)
+            return
+        decision = self.model.decide(query, node.segment, total_bytes=self.total_bytes)
+        if not decision.should_split:
+            # Case 0: the query covers the leaf entirely, or splitting would
+            # fragment it; a virtual leaf is materialized without splitting.
+            if not node.materialized:
+                to_materialize.append(node)
+            return
+        pieces = node.vrange.split_at(list(decision.points))
+        if len(pieces) <= 1:
+            if not node.materialized:
+                to_materialize.append(node)
+            return
+        materialize_ranges = self._query_side_pieces(pieces, query, decision.action)
+        for piece in pieces:
+            child_segment = Segment(
+                piece,
+                value_width=self.value_width,
+                estimated_count=node.segment.estimate_count(piece),
+            )
+            child = ReplicaNode(child_segment)
+            node.add_child(child)
+            if piece in materialize_ranges:
+                to_materialize.append(child)
+
+    @staticmethod
+    def _query_side_pieces(
+        pieces: list[ValueRange], query: ValueRange, action: SplitAction
+    ) -> set[ValueRange]:
+        """The sub-ranges that should become materialized replicas.
+
+        For splits at the query bounds these are exactly the pieces inside the
+        selection range (cases 1-3); for a single-point split (case 4) it is
+        the piece holding the larger share of the selection, i.e. the smallest
+        super-set of the query the model was willing to create.
+        """
+        if action is SplitAction.SPLIT_AT_BOUNDS:
+            return {piece for piece in pieces if query.contains_range(piece)}
+        best = max(pieces, key=lambda piece: piece.intersect(query).width)
+        return {best}
+
+    # -- materialization and drops -------------------------------------------------
+
+    def _materialize(
+        self, cover_node: ReplicaNode, to_materialize: list[ReplicaNode], stats: QueryStats
+    ) -> None:
+        """Single scan of the covering segment materializes every chosen replica."""
+        for node in to_materialize:
+            piece = cover_node.segment.extract(node.vrange)
+            node.segment = piece
+            self.accountant.record_write(piece.size_bytes, piece)
+            stats.replicas_materialized += 1
+            self._last_access[id(node)] = self._queries_executed
+        for node in to_materialize:
+            self._propagate_drop(node.parent, stats)
+
+    def _propagate_drop(self, node: ReplicaNode | None, stats: QueryStats) -> None:
+        """Algorithm 5: drop ancestors that became fully replicated."""
+        while node is not None:
+            if node.is_leaf or not all(child.materialized for child in node.children):
+                return
+            parent = node.parent
+            if node.materialized:
+                node.segment.free()
+            self.tree.splice_out(node)
+            self._last_access.pop(id(node), None)
+            stats.segments_dropped += 1
+            node = parent
+
+    # -- storage budget (extension) ---------------------------------------------------
+
+    def _enforce_budget(self, stats: QueryStats) -> None:
+        """Release least-recently-used replicas until the budget is respected.
+
+        Only nodes with a materialized ancestor are candidates: releasing them
+        never breaks query coverage, the data is simply re-read from the
+        ancestor when needed again.
+        """
+        if self.storage_budget is None or self.storage_bytes <= self.storage_budget:
+            return
+        candidates = [
+            node
+            for node in self.tree.walk()
+            if node.materialized and self._has_materialized_ancestor(node)
+        ]
+        candidates.sort(key=lambda node: self._last_access.get(id(node), -1))
+        for node in candidates:
+            if self.storage_bytes <= self.storage_budget:
+                break
+            node.segment.free()
+            stats.segments_dropped += 1
+
+    @staticmethod
+    def _has_materialized_ancestor(node: ReplicaNode) -> bool:
+        ancestor = node.parent
+        while ancestor is not None:
+            if ancestor.materialized:
+                return True
+            ancestor = ancestor.parent
+        return False
+
+    # -- integrity ----------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify the replica-tree structural invariants."""
+        self.tree.check_invariants()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReplicatedColumn(nodes={self.segment_count}, depth={self.tree_depth}, "
+            f"storage={self.storage_bytes:g}B, model={self.model.name})"
+        )

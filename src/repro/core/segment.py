@@ -1,0 +1,196 @@
+"""Segments: the unit of value-based column organisation.
+
+A segment owns the ``(oid, value)`` pairs of a column whose values fall into a
+contiguous range of the attribute domain.  Segments back both self-organizing
+techniques: adaptive segmentation keeps an ordered, non-overlapping list of
+them, while adaptive replication arranges (possibly virtual) segments into a
+replica tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ranges import ValueRange
+
+
+@dataclass
+class SelectionResult:
+    """Qualifying values (and their oids) returned by a range selection."""
+
+    values: np.ndarray
+    oids: np.ndarray
+
+    @property
+    def count(self) -> int:
+        """Number of qualifying values."""
+        return int(self.values.size)
+
+    @classmethod
+    def empty(cls, dtype: np.dtype) -> "SelectionResult":
+        """An empty result of the given value dtype."""
+        return cls(np.empty(0, dtype=dtype), np.empty(0, dtype=np.int64))
+
+    @classmethod
+    def concatenate(cls, parts: list["SelectionResult"], dtype: np.dtype) -> "SelectionResult":
+        """Concatenate partial results (order follows the parts)."""
+        parts = [p for p in parts if p.count > 0]
+        if not parts:
+            return cls.empty(dtype)
+        return cls(
+            np.concatenate([p.values for p in parts]),
+            np.concatenate([p.oids for p in parts]),
+        )
+
+
+class Segment:
+    """A contiguous value-range piece of a column.
+
+    Parameters
+    ----------
+    vrange:
+        Half-open value range covered by the segment.
+    values, oids:
+        The segment payload.  ``None`` for *virtual* segments (used by
+        adaptive replication), which describe a range and an estimated size
+        but hold no data.
+    value_width:
+        Bytes per value, used for all byte accounting.  Derived from the
+        dtype when data is present.
+    estimated_count:
+        Size estimate for virtual segments.
+    """
+
+    __slots__ = ("vrange", "values", "oids", "value_width", "estimated_count")
+
+    def __init__(
+        self,
+        vrange: ValueRange,
+        values: np.ndarray | None = None,
+        oids: np.ndarray | None = None,
+        *,
+        value_width: int | None = None,
+        estimated_count: float | None = None,
+    ) -> None:
+        self.vrange = vrange
+        if values is not None:
+            values = np.asarray(values)
+            if oids is None:
+                oids = np.arange(values.size, dtype=np.int64)
+            else:
+                oids = np.asarray(oids, dtype=np.int64)
+            if oids.size != values.size:
+                raise ValueError(
+                    f"values and oids must have equal length, got {values.size} and {oids.size}"
+                )
+            if value_width is None:
+                value_width = int(values.dtype.itemsize)
+        elif value_width is None:
+            raise ValueError("virtual segments must specify value_width explicitly")
+        self.values = values
+        self.oids = oids
+        self.value_width = int(value_width)
+        self.estimated_count = float(
+            estimated_count if estimated_count is not None else (0 if values is None else values.size)
+        )
+
+    # -- basic properties ------------------------------------------------
+
+    @property
+    def materialized(self) -> bool:
+        """True when the segment holds actual data."""
+        return self.values is not None
+
+    @property
+    def count(self) -> float:
+        """Number of values held (materialized) or estimated (virtual)."""
+        if self.values is not None:
+            return float(self.values.size)
+        return self.estimated_count
+
+    @property
+    def size_bytes(self) -> float:
+        """Payload size in bytes (estimate for virtual segments)."""
+        return self.count * self.value_width
+
+    # -- size estimation --------------------------------------------------
+
+    def estimate_count(self, sub: ValueRange) -> float:
+        """Estimated number of values in ``sub`` assuming a uniform spread.
+
+        The segmentation models make their decisions from estimates so that
+        no data needs to be touched at optimization time (paper §3.1).
+        """
+        return self.count * sub.fraction_of(self.vrange)
+
+    def estimate_bytes(self, sub: ValueRange) -> float:
+        """Estimated payload bytes of the portion of this segment in ``sub``."""
+        return self.estimate_count(sub) * self.value_width
+
+    # -- data operations --------------------------------------------------
+
+    def _require_data(self) -> None:
+        if self.values is None:
+            raise RuntimeError(f"segment {self.vrange} is virtual and holds no data")
+
+    def mask(self, vrange: ValueRange) -> np.ndarray:
+        """Boolean mask of values falling into ``vrange``."""
+        self._require_data()
+        return (self.values >= vrange.low) & (self.values < vrange.high)
+
+    def select(self, vrange: ValueRange) -> SelectionResult:
+        """Extract the values (and oids) falling into ``vrange``."""
+        self._require_data()
+        selected = self.mask(vrange)
+        return SelectionResult(self.values[selected], self.oids[selected])
+
+    def extract(self, vrange: ValueRange) -> "Segment":
+        """A new materialized segment holding this segment's data in ``vrange``."""
+        result = self.select(vrange)
+        return Segment(vrange, result.values, result.oids, value_width=self.value_width)
+
+    def partition(self, points: list[float]) -> list["Segment"]:
+        """Split into adjacent materialized sub-segments at the given points.
+
+        Points outside the segment range are ignored.  The sub-segments
+        together hold exactly the same multiset of ``(oid, value)`` pairs.
+        """
+        self._require_data()
+        sub_ranges = self.vrange.split_at(points)
+        if len(sub_ranges) == 1:
+            return [self]
+        cuts = [r.high for r in sub_ranges[:-1]]
+        bucket = np.searchsorted(np.asarray(cuts), self.values, side="right")
+        pieces: list[Segment] = []
+        for i, sub in enumerate(sub_ranges):
+            selected = bucket == i
+            pieces.append(
+                Segment(
+                    sub,
+                    self.values[selected],
+                    self.oids[selected],
+                    value_width=self.value_width,
+                )
+            )
+        return pieces
+
+    def free(self) -> None:
+        """Drop the payload, turning the segment into a virtual one."""
+        self.estimated_count = self.count
+        self.values = None
+        self.oids = None
+
+    def check_invariants(self) -> None:
+        """Raise :class:`AssertionError` when the payload violates the range."""
+        if self.values is None:
+            return
+        if self.values.size == 0:
+            return
+        if not bool(np.all((self.values >= self.vrange.low) & (self.values < self.vrange.high))):
+            raise AssertionError(f"segment {self.vrange} holds values outside its range")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "mat" if self.materialized else "vir"
+        return f"Segment({self.vrange}, {kind}, count={self.count:g})"

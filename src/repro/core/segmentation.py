@@ -1,0 +1,217 @@
+"""Adaptive segmentation (paper §4, Algorithm 1).
+
+A column is represented as a sequence of adjacent, non-overlapping segments
+covering the attribute domain.  Initially the whole column is one segment.
+Every range selection offers an opportunity to split the segments it overlaps;
+whether the opportunity is taken is decided by a segmentation model (GD or
+APM).  When a split is taken, the segment is *eagerly* replaced in place by
+its two or three sub-segments — the query result is piggy-backed on this
+reorganization, and the pieces outside the selection constitute the
+reorganization overhead the paper measures as memory writes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.accounting import IOAccountant, QueryLog, QueryStats
+from repro.core.meta_index import SegmentMetaIndex
+from repro.core.models import SegmentationModel
+from repro.core.ranges import ValueRange, domain_of
+from repro.core.segment import SelectionResult, Segment
+
+
+class SegmentedColumn:
+    """A column organised as value-ranged segments that adapt to the workload.
+
+    Parameters
+    ----------
+    values:
+        The column payload (any numeric numpy array).
+    model:
+        Segmentation model deciding when to split (GD or APM).
+    oids:
+        Optional object identifiers; defaults to the positional order.
+    domain:
+        The attribute domain as a ``(low, high)`` pair (half-open).  Defaults
+        to the smallest range containing the data.
+    accountant:
+        Byte counters; a private one is created when omitted.
+    keep_history:
+        Record one :class:`QueryStats` per query (needed by the harness).
+    time_phases:
+        Measure wall-clock selection/adaptation time per query.
+    """
+
+    strategy_name = "segmentation"
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        *,
+        model: SegmentationModel,
+        oids: np.ndarray | None = None,
+        domain: tuple[float, float] | None = None,
+        accountant: IOAccountant | None = None,
+        keep_history: bool = True,
+        time_phases: bool = True,
+    ) -> None:
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError("a column must be a one-dimensional array")
+        if values.size == 0:
+            raise ValueError("cannot build a segmented column from an empty array")
+        self.model = model
+        self.dtype = values.dtype
+        self.value_width = int(values.dtype.itemsize)
+        self.domain = (
+            ValueRange(float(domain[0]), float(domain[1])) if domain is not None else domain_of(values)
+        )
+        root = Segment(self.domain, values, oids, value_width=self.value_width)
+        root.check_invariants()
+        self.meta_index = SegmentMetaIndex([root])
+        self.total_bytes = root.size_bytes
+        self.accountant = accountant if accountant is not None else IOAccountant()
+        self.history: QueryLog | None = QueryLog() if keep_history else None
+        self._time_phases = time_phases
+        self._queries_executed = 0
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def segments(self) -> list[Segment]:
+        """The current segments in value order."""
+        return self.meta_index.segments
+
+    @property
+    def segment_count(self) -> int:
+        """Number of segments the column is currently split into."""
+        return len(self.meta_index)
+
+    @property
+    def storage_bytes(self) -> float:
+        """Bytes used for the column payload (constant for segmentation)."""
+        return sum(segment.size_bytes for segment in self.meta_index)
+
+    def select(self, low: float, high: float) -> SelectionResult:
+        """Answer ``low <= value < high`` and adapt the segmentation.
+
+        Only segments overlapping the predicate are read; each of them may be
+        split according to the segmentation model.  Per-query measurements are
+        appended to :attr:`history`.
+        """
+        query = ValueRange(float(low), float(high))
+        stats = QueryStats(
+            index=self._queries_executed,
+            low=query.low,
+            high=query.high,
+        )
+        self.accountant.attach(stats)
+        try:
+            result = self._execute(query, stats)
+        finally:
+            self.accountant.detach()
+        stats.result_count = result.count
+        stats.segment_count = self.segment_count
+        stats.storage_bytes = self.storage_bytes
+        self._queries_executed += 1
+        if self.history is not None:
+            self.history.append(stats)
+        self.model.observe(result.count * self.value_width)
+        return result
+
+    # -- internals ------------------------------------------------------------
+
+    def _now(self) -> float:
+        return time.perf_counter() if self._time_phases else 0.0
+
+    def _execute(self, query: ValueRange, stats: QueryStats) -> SelectionResult:
+        parts: list[SelectionResult] = []
+        for segment in self.meta_index.overlapping(query):
+            self.accountant.record_read(segment.size_bytes, segment)
+
+            started = self._now()
+            parts.append(segment.select(query))
+            stats.selection_seconds += self._now() - started
+
+            started = self._now()
+            decision = self.model.decide(query, segment, total_bytes=self.total_bytes)
+            if decision.should_split:
+                self._split(segment, list(decision.points), stats)
+            stats.adaptation_seconds += self._now() - started
+        started = self._now()
+        result = SelectionResult.concatenate(parts, self.dtype)
+        stats.selection_seconds += self._now() - started
+        return result
+
+    def _split(self, segment: Segment, points: list[float], stats: QueryStats) -> None:
+        pieces = segment.partition(points)
+        if len(pieces) <= 1:
+            return
+        for piece in pieces:
+            self.accountant.record_write(piece.size_bytes, piece)
+        self.meta_index.replace(segment, pieces)
+        stats.splits_performed += 1
+
+    # -- maintenance and extensions --------------------------------------------
+
+    def merge_small_segments(self, min_bytes: float) -> int:
+        """Glue adjacent segments smaller than ``min_bytes`` together.
+
+        This implements the "complementary merging strategies" the paper lists
+        as future work (§8): the GD model can fragment a column under skewed
+        workloads, and merging counters that.  Returns the number of merge
+        operations performed.  Merging writes the glued segment back, which is
+        accounted as segment materialization.
+        """
+        merges = 0
+        merged_something = True
+        while merged_something:
+            merged_something = False
+            segments = self.meta_index.segments
+            for first, second in zip(segments, segments[1:]):
+                if first.size_bytes >= min_bytes and second.size_bytes >= min_bytes:
+                    continue
+                if first.vrange.high != second.vrange.low:
+                    continue
+                glued = Segment(
+                    ValueRange(first.vrange.low, second.vrange.high),
+                    np.concatenate([first.values, second.values]),
+                    np.concatenate([first.oids, second.oids]),
+                    value_width=self.value_width,
+                )
+                self.accountant.record_write(glued.size_bytes, glued)
+                self.meta_index.replace(first, [glued])
+                self.meta_index.replace(second, [])
+                merges += 1
+                merged_something = True
+                break
+        return merges
+
+    def check_invariants(self) -> None:
+        """Verify that the segments partition the domain and conserve the data."""
+        self.meta_index.check_invariants()
+        segments = self.meta_index.segments
+        if not segments:
+            raise AssertionError("a segmented column must always have at least one segment")
+        if segments[0].vrange.low != self.domain.low or segments[-1].vrange.high != self.domain.high:
+            raise AssertionError("segments do not cover the attribute domain")
+        for first, second in zip(segments, segments[1:]):
+            if first.vrange.high != second.vrange.low:
+                raise AssertionError(
+                    f"gap between segments {first.vrange} and {second.vrange}"
+                )
+        total_values = sum(int(segment.count) for segment in segments)
+        expected = int(round(self.total_bytes / self.value_width))
+        if total_values != expected:
+            raise AssertionError(
+                f"segments hold {total_values} values, expected {expected}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SegmentedColumn(segments={self.segment_count}, "
+            f"model={self.model.name}, bytes={self.total_bytes:g})"
+        )

@@ -1,0 +1,16 @@
+"""The database engine façade.
+
+Ties the substrates together into something a downstream user can drive:
+create tables, bulk load numpy arrays, run SQL, and switch individual columns
+to adaptive segmentation or replication with one call — after which every
+subsequent query is transparently rewritten by the segment optimizer, exactly
+as the paper integrates self-organization "completely transparently for the
+SQL front-end".
+"""
+
+from repro.engine.database import Database
+from repro.engine.execution import ExecutionContext
+from repro.engine.result import QueryResult
+from repro.engine.session import Session
+
+__all__ = ["Database", "ExecutionContext", "QueryResult", "Session"]

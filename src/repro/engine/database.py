@@ -1,0 +1,212 @@
+"""The database façade: schema, loading, SQL execution, adaptive indexing."""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.core.accounting import QueryStats
+from repro.core.models import SegmentationModel, model_from_name
+from repro.engine.execution import ExecutionContext
+from repro.engine.result import QueryResult
+from repro.mal.interpreter import Interpreter
+from repro.mal.modules import default_registry
+from repro.mal.program import MALProgram
+from repro.optimizer.bpm import AdaptiveColumnHandle, BatPartitionManager
+from repro.optimizer.pipeline import OptimizerPipeline
+from repro.optimizer.rules import merge_duplicate_binds, remove_dead_code
+from repro.optimizer.segment_optimizer import SegmentOptimizer
+from repro.sql.compiler import SQLCompiler
+from repro.sql.parser import parse
+from repro.storage.catalog import Catalog
+from repro.util.units import KB
+
+
+class Database:
+    """A self-organizing column-store database instance.
+
+    Typical usage::
+
+        db = Database()
+        db.create_table("p", {"objid": "int64", "ra": "float64"})
+        db.bulk_load("p", {"objid": objids, "ra": ra_values})
+        db.enable_adaptive_segmentation("p", "ra", model="apm",
+                                        m_min=1 * MB, m_max=5 * MB)
+        result = db.execute("SELECT objid FROM p WHERE ra BETWEEN 205.1 AND 205.12")
+    """
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+        self.bpm = BatPartitionManager(self.catalog)
+        self.registry = default_registry()
+        self.registry.register_module("bpm", self.bpm.mal_module())
+        self.compiler = SQLCompiler(self.catalog)
+        self.segment_optimizer = SegmentOptimizer(self.catalog, self.bpm)
+        self.optimizer = OptimizerPipeline(
+            [merge_duplicate_binds, self.segment_optimizer, remove_dead_code]
+        )
+        self.interpreter = Interpreter(self.registry)
+        self.query_history: list[QueryResult] = []
+
+    # -- schema and data -----------------------------------------------------
+
+    def create_table(self, name: str, columns: dict[str, Any]) -> None:
+        """Create a table from a ``{column: dtype}`` mapping."""
+        self.catalog.create_table(name.lower(), {col.lower(): dtype for col, dtype in columns.items()})
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table and any adaptive state attached to its columns."""
+        name = name.lower()
+        for handle in list(self.bpm.handles()):
+            if handle.table == name:
+                self.bpm.disable(handle.table, handle.column)
+        self.catalog.drop_table(name)
+
+    def bulk_load(self, table: str, data: dict[str, np.ndarray]) -> None:
+        """Load aligned arrays into a freshly created table."""
+        self.catalog.table(table.lower()).bulk_load(
+            {col.lower(): np.asarray(values) for col, values in data.items()}
+        )
+
+    def insert(self, table: str, data: dict[str, np.ndarray]) -> None:
+        """Append rows through the insert-delta BATs."""
+        self.catalog.table(table.lower()).insert(
+            {col.lower(): np.asarray(values) for col, values in data.items()}
+        )
+
+    def delete(self, table: str, oids: np.ndarray) -> None:
+        """Mark rows (by oid) as deleted."""
+        self.catalog.table(table.lower()).delete(oids)
+
+    def table_names(self) -> list[str]:
+        """All tables in the catalog."""
+        return self.catalog.table_names
+
+    # -- adaptive indexing administration ------------------------------------------
+
+    def enable_adaptive_segmentation(
+        self,
+        table: str,
+        column: str,
+        *,
+        model: str | SegmentationModel = "apm",
+        m_min: float = 3 * KB,
+        m_max: float = 12 * KB,
+        seed: int | None = None,
+    ) -> AdaptiveColumnHandle:
+        """Hand a column to the BPM for in-place adaptive segmentation."""
+        return self._enable(table, column, "segmentation", model, m_min, m_max, seed, None)
+
+    def enable_adaptive_replication(
+        self,
+        table: str,
+        column: str,
+        *,
+        model: str | SegmentationModel = "apm",
+        m_min: float = 3 * KB,
+        m_max: float = 12 * KB,
+        seed: int | None = None,
+        storage_budget: float | None = None,
+    ) -> AdaptiveColumnHandle:
+        """Hand a column to the BPM for adaptive replication."""
+        return self._enable(
+            table, column, "replication", model, m_min, m_max, seed, storage_budget
+        )
+
+    def disable_adaptive(self, table: str, column: str) -> None:
+        """Return a column to plain positional organisation."""
+        self.bpm.disable(table.lower(), column.lower())
+
+    def adaptive_handle(self, table: str, column: str) -> AdaptiveColumnHandle:
+        """The BPM handle of an adaptive column (for inspection)."""
+        return self.bpm.handle(table.lower(), column.lower())
+
+    def _enable(
+        self,
+        table: str,
+        column: str,
+        strategy: str,
+        model: str | SegmentationModel,
+        m_min: float,
+        m_max: float,
+        seed: int | None,
+        storage_budget: float | None,
+    ) -> AdaptiveColumnHandle:
+        table = table.lower()
+        column = column.lower()
+        stored = self.catalog.column(table, column)
+        values = stored.merge_deltas()
+        if values.size == 0:
+            raise ValueError(
+                f"cannot enable adaptive organisation on empty column {table}.{column}"
+            )
+        if isinstance(model, str):
+            model = model_from_name(model, m_min=m_min, m_max=m_max, seed=seed)
+        return self.bpm.enable(table, column, strategy=strategy, model=model, values=values,
+                               storage_budget=storage_budget)
+
+    # -- query execution ----------------------------------------------------------------
+
+    def compile(self, sql: str) -> MALProgram:
+        """Parse and compile a query without optimizing or running it."""
+        return self.compiler.compile(parse(sql))
+
+    def explain(self, sql: str) -> str:
+        """The optimized MAL plan in concrete syntax (like ``EXPLAIN``)."""
+        return self.optimizer.optimize(self.compile(sql)).render()
+
+    def execute(self, sql: str) -> QueryResult:
+        """Parse, compile, optimize and run a query."""
+        total_started = time.perf_counter()
+        program = self.compile(sql)
+        optimizer_started = time.perf_counter()
+        optimized = self.optimizer.optimize(program)
+        optimizer_seconds = time.perf_counter() - optimizer_started
+
+        context = ExecutionContext(catalog=self.catalog)
+        adaptive_before = self._adaptive_counters()
+        self.interpreter.run(optimized, context)
+        selection_seconds, adaptation_seconds = self._adaptive_delta(adaptive_before)
+
+        result = QueryResult(
+            sql=sql,
+            columns=context.exported_columns(),
+            scalars=dict(context.scalars),
+            plan_text=optimized.render(),
+            total_seconds=time.perf_counter() - total_started,
+            selection_seconds=selection_seconds,
+            adaptation_seconds=adaptation_seconds,
+            optimizer_seconds=optimizer_seconds,
+        )
+        self.query_history.append(result)
+        return result
+
+    # -- adaptation accounting ------------------------------------------------------------
+
+    def _adaptive_counters(self) -> dict[tuple[str, str], int]:
+        """Number of recorded queries per adaptive column (to detect activity)."""
+        counters = {}
+        for handle in self.bpm.handles():
+            history = handle.adaptive.history
+            counters[(handle.table, handle.column)] = len(history) if history else 0
+        return counters
+
+    def _adaptive_delta(self, before: dict[tuple[str, str], int]) -> tuple[float, float]:
+        """Selection/adaptation seconds spent by adaptive columns in this query."""
+        selection = 0.0
+        adaptation = 0.0
+        for handle in self.bpm.handles():
+            history = handle.adaptive.history
+            if history is None:
+                continue
+            start = before.get((handle.table, handle.column), 0)
+            for stats in list(history)[start:]:
+                selection += stats.selection_seconds
+                adaptation += stats.adaptation_seconds
+        return selection, adaptation
+
+    def last_adaptive_stats(self, table: str, column: str) -> QueryStats | None:
+        """Per-query stats of the most recent adaptive selection on a column."""
+        return self.adaptive_handle(table, column).last_query_stats

@@ -1,0 +1,69 @@
+"""The execution context shared by MAL module functions during one query."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.storage.bat import BAT
+from repro.storage.catalog import Catalog
+
+
+@dataclass
+class _ResultSet:
+    """Columns accumulated by ``sql.resultSet`` / ``sql.rsColumn``."""
+
+    columns: dict[str, BAT] = field(default_factory=dict)
+    exported: bool = False
+
+
+@dataclass
+class ExecutionContext:
+    """Mutable per-query state visible to MAL module implementations.
+
+    The interpreter stores the variable environment here; the ``sql`` module
+    functions accumulate result sets and exported scalars; the BPM is reached
+    through its own registered module and needs no direct slot.
+    """
+
+    catalog: Catalog
+    variables: dict[str, Any] = field(default_factory=dict)
+    result_sets: dict[int, _ResultSet] = field(default_factory=dict)
+    scalars: dict[str, float] = field(default_factory=dict)
+    _next_result_set: int = 1
+
+    # -- result-set protocol used by the sql module ---------------------------
+
+    def new_result_set(self) -> int:
+        """Allocate a fresh result-set id."""
+        result_set_id = self._next_result_set
+        self._next_result_set += 1
+        self.result_sets[result_set_id] = _ResultSet()
+        return result_set_id
+
+    def add_result_column(self, result_set_id: int, name: str, bat: BAT) -> None:
+        """Attach one output column to a result set."""
+        if result_set_id not in self.result_sets:
+            raise KeyError(f"unknown result set {result_set_id}")
+        self.result_sets[result_set_id].columns[name] = bat
+
+    def export_result(self, result_set_id: int) -> None:
+        """Mark a result set as the query output."""
+        if result_set_id not in self.result_sets:
+            raise KeyError(f"unknown result set {result_set_id}")
+        self.result_sets[result_set_id].exported = True
+
+    def export_scalar(self, name: str, value: float) -> None:
+        """Record an aggregate output value."""
+        self.scalars[name] = float(value) if isinstance(value, (int, float, np.floating)) else value
+
+    # -- accessors used by the engine -----------------------------------------------
+
+    def exported_columns(self) -> dict[str, np.ndarray]:
+        """The columns of the exported result set as numpy arrays."""
+        for result_set in self.result_sets.values():
+            if result_set.exported:
+                return {name: bat.tail.copy() for name, bat in result_set.columns.items()}
+        return {}

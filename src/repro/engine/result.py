@@ -1,0 +1,69 @@
+"""Query results returned by the engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class QueryResult:
+    """The outcome of one SQL query.
+
+    ``columns`` holds the projected columns as numpy arrays (empty for pure
+    aggregate queries); ``scalars`` holds aggregate values keyed by their
+    label (e.g. ``"count(*)"``).  The timing fields separate the work spent in
+    plain query processing from the work spent adapting the storage layout,
+    which is the split Figure 10 of the paper reports.
+    """
+
+    sql: str
+    columns: dict[str, np.ndarray] = field(default_factory=dict)
+    scalars: dict[str, float] = field(default_factory=dict)
+    plan_text: str = ""
+    total_seconds: float = 0.0
+    selection_seconds: float = 0.0
+    adaptation_seconds: float = 0.0
+    optimizer_seconds: float = 0.0
+
+    @property
+    def row_count(self) -> int:
+        """Number of result rows (0 for aggregate-only results)."""
+        if not self.columns:
+            return 0
+        return int(next(iter(self.columns.values())).size)
+
+    @property
+    def column_names(self) -> list[str]:
+        """The projected column names in output order."""
+        return list(self.columns)
+
+    def column(self, name: str) -> np.ndarray:
+        """One projected column by name."""
+        try:
+            return self.columns[name]
+        except KeyError as exc:
+            raise KeyError(f"result has no column {name!r}; available: {self.column_names}") from exc
+
+    def scalar(self, label: str) -> float:
+        """One aggregate value by label, e.g. ``result.scalar("count(*)")``."""
+        try:
+            return self.scalars[label]
+        except KeyError as exc:
+            raise KeyError(
+                f"result has no aggregate {label!r}; available: {sorted(self.scalars)}"
+            ) from exc
+
+    def to_rows(self, limit: int | None = None) -> list[tuple]:
+        """The result as a list of tuples (for display and tests)."""
+        if not self.columns:
+            return []
+        arrays = list(self.columns.values())
+        count = arrays[0].size if limit is None else min(limit, arrays[0].size)
+        return [tuple(array[i] for array in arrays) for i in range(count)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.scalars:
+            return f"QueryResult(scalars={self.scalars})"
+        return f"QueryResult(rows={self.row_count}, columns={self.column_names})"

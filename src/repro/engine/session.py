@@ -1,0 +1,76 @@
+"""A lightweight session wrapper around :class:`~repro.engine.database.Database`.
+
+Sessions add per-client conveniences the examples use: query timing history,
+a tabular pretty-printer and cumulative adaptation/selection summaries —
+essentially the measurements harvested for Figures 10-16 when driving the
+prototype with a workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.database import Database
+from repro.engine.result import QueryResult
+
+
+@dataclass
+class SessionTimings:
+    """Aggregated per-session timing counters."""
+
+    queries: int = 0
+    total_seconds: float = 0.0
+    selection_seconds: float = 0.0
+    adaptation_seconds: float = 0.0
+
+    def record(self, result: QueryResult) -> None:
+        self.queries += 1
+        self.total_seconds += result.total_seconds
+        self.selection_seconds += result.selection_seconds
+        self.adaptation_seconds += result.adaptation_seconds
+
+    @property
+    def average_milliseconds(self) -> float:
+        """Mean per-query wall-clock time in milliseconds."""
+        if not self.queries:
+            return 0.0
+        return 1000.0 * self.total_seconds / self.queries
+
+
+class Session:
+    """One client connection to a database instance."""
+
+    def __init__(self, database: Database | None = None) -> None:
+        self.database = database if database is not None else Database()
+        self.timings = SessionTimings()
+        self.results: list[QueryResult] = []
+
+    def execute(self, sql: str) -> QueryResult:
+        """Run a query, keeping per-session history and timing totals."""
+        result = self.database.execute(sql)
+        self.results.append(result)
+        self.timings.record(result)
+        return result
+
+    def executemany(self, statements: list[str]) -> list[QueryResult]:
+        """Run a list of queries in order."""
+        return [self.execute(sql) for sql in statements]
+
+    def format_result(self, result: QueryResult, *, limit: int = 10) -> str:
+        """Render a result as a small fixed-width table (for the examples)."""
+        if result.scalars:
+            lines = [f"{label}: {value:g}" for label, value in result.scalars.items()]
+            return "\n".join(lines)
+        names = result.column_names
+        if not names:
+            return "(empty result)"
+        header = " | ".join(f"{name:>12s}" for name in names)
+        separator = "-+-".join("-" * 12 for _ in names)
+        rows = result.to_rows(limit)
+        body = "\n".join(" | ".join(f"{value!s:>12s}" for value in row) for row in rows)
+        footer = "" if result.row_count <= limit else f"... ({result.row_count} rows total)"
+        return "\n".join(part for part in (header, separator, body, footer) if part)
+
+    def reset_timings(self) -> None:
+        """Clear per-session counters (results are kept)."""
+        self.timings = SessionTimings()

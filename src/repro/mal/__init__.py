@@ -1,0 +1,26 @@
+"""The MAL substrate: programs, operators and the interpreter.
+
+MonetDB executes query plans expressed in the MonetDB Assembly Language (MAL):
+sequences of instructions over BATs with functional abstractions, guarded
+(barrier) blocks and materialize-everything operator semantics (§2).  This
+package reproduces the slice of MAL the paper's plans use — enough to compile
+the Figure-1 plan from SQL, run it, and let the segment optimizer rewrite it
+into the segment-aware iterator form of §3.1.
+"""
+
+from repro.mal.program import Const, Instruction, MALProgram, Var
+from repro.mal.builder import ProgramBuilder
+from repro.mal.interpreter import Interpreter, MALRuntimeError
+from repro.mal.modules import ModuleRegistry, default_registry
+
+__all__ = [
+    "Const",
+    "Instruction",
+    "MALProgram",
+    "Var",
+    "ProgramBuilder",
+    "Interpreter",
+    "MALRuntimeError",
+    "ModuleRegistry",
+    "default_registry",
+]

@@ -1,0 +1,190 @@
+"""Relational operators over BATs (the ``algebra``, ``bat`` and ``aggr`` modules).
+
+MonetDB's execution paradigm materializes every intermediate result; the
+operators here follow the same style — each call produces a fresh BAT.  Only
+the operators appearing in the paper's plans (Figure 1 and the §3.1 iterator
+snippet) plus a few aggregates needed by the examples are implemented.
+
+Conventions:
+
+* ``select``/``uselect`` evaluate a range predicate on the tail and return the
+  qualifying pairs (``uselect`` returns a *candidate list* whose tail repeats
+  the head oids, mirroring MonetDB's ``[oid, nil]`` result).
+* ``kunion``/``kdifference`` operate on the head-oid sets, keeping the pair of
+  the left operand.
+* ``markT`` renumbers results densely in the tail; combined with ``reverse``
+  and ``join`` it reconstructs final result columns exactly like Figure 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.bat import BAT
+
+
+# ---------------------------------------------------------------------------
+# Selections
+# ---------------------------------------------------------------------------
+
+
+def select(bat: BAT, low: float, high: float, *, include_low: bool = True, include_high: bool = False) -> BAT:
+    """Pairs whose tail value falls into the given range.
+
+    The default bounds semantics ``[low, high)`` matches the rest of the
+    library; the SQL ``BETWEEN`` compiler passes ``include_high=True``.
+    Void heads are never materialized in full: only the qualifying oids are
+    computed from the dense sequence.
+    """
+    tail = bat.tail
+    mask = (tail >= low) if include_low else (tail > low)
+    mask &= (tail <= high) if include_high else (tail < high)
+    positions = np.flatnonzero(mask)
+    if bat.is_void_head:
+        heads = positions.astype(np.int64) + bat.hseqbase
+    else:
+        heads = bat.head[positions]
+    return BAT.from_pairs(heads, tail[positions], name=bat.name)
+
+
+def uselect(
+    bat: BAT, low: float, high: float, *, include_low: bool = True, include_high: bool = False
+) -> BAT:
+    """A candidate list: the head oids whose tail value qualifies."""
+    qualifying = select(bat, low, high, include_low=include_low, include_high=include_high)
+    return BAT.from_pairs(qualifying.head, qualifying.head, name=bat.name)
+
+
+def thetaselect(bat: BAT, value: float, operator: str) -> BAT:
+    """Single-sided comparison selection (used by the SQL compiler for <, >, =)."""
+    tail = bat.tail
+    comparators = {
+        "<": tail < value,
+        "<=": tail <= value,
+        ">": tail > value,
+        ">=": tail >= value,
+        "==": tail == value,
+        "!=": tail != value,
+    }
+    if operator not in comparators:
+        raise ValueError(f"unknown comparison operator {operator!r}")
+    mask = comparators[operator]
+    return BAT.from_pairs(bat.head[mask], tail[mask], name=bat.name)
+
+
+# ---------------------------------------------------------------------------
+# Set operations on head oids
+# ---------------------------------------------------------------------------
+
+
+def kunion(left: BAT, right: BAT) -> BAT:
+    """Union by head oid; pairs from ``left`` win on duplicates.
+
+    When one operand is empty the other is passed through unchanged instead of
+    being copied — the same shortcut MonetDB's operational optimizer takes for
+    empty delta BATs, and essential to keep the per-query cost dominated by
+    the actual scan.
+    """
+    if right.count == 0:
+        return left
+    if left.count == 0:
+        return right
+    right_only = ~np.isin(right.head, left.head)
+    return BAT.from_pairs(
+        np.concatenate([left.head, right.head[right_only]]),
+        np.concatenate([left.tail, right.tail[right_only]]),
+        name=left.name,
+    )
+
+
+def kdifference(left: BAT, right: BAT) -> BAT:
+    """Pairs of ``left`` whose head oid does not appear in ``right``.
+
+    An empty ``right`` operand passes ``left`` through unchanged (see
+    :func:`kunion` for the rationale).
+    """
+    if left.count == 0 or right.count == 0:
+        return left
+    keep = ~np.isin(left.head, right.head)
+    return BAT.from_pairs(left.head[keep], left.tail[keep], name=left.name)
+
+
+def kintersect(left: BAT, right: BAT) -> BAT:
+    """Pairs of ``left`` whose head oid appears in ``right`` (semijoin)."""
+    if left.count == 0 or right.count == 0:
+        return BAT.from_pairs(np.empty(0, dtype=np.int64), left.tail[:0], name=left.name)
+    keep = np.isin(left.head, right.head)
+    return BAT.from_pairs(left.head[keep], left.tail[keep], name=left.name)
+
+
+# ---------------------------------------------------------------------------
+# Tuple reconstruction
+# ---------------------------------------------------------------------------
+
+
+def mark_tail(bat: BAT, base: int = 0) -> BAT:
+    """Replace the tail with a dense oid numbering starting at ``base`` (markT)."""
+    dense = np.arange(base, base + bat.count, dtype=np.int64)
+    return BAT.from_pairs(bat.head, dense, name=bat.name)
+
+
+def join(left: BAT, right: BAT) -> BAT:
+    """Equi-join ``left.tail == right.head`` producing ``(left.head, right.tail)``.
+
+    This is the positional join used for tuple reconstruction: the left
+    operand maps result positions to qualifying oids and the right operand
+    maps oids to attribute values.
+    """
+    if left.count == 0 or right.count == 0:
+        return BAT.from_pairs(np.empty(0, dtype=np.int64), right.tail[:0], name=right.name)
+    left_keys = np.asarray(left.tail, dtype=np.int64)
+    if right.is_void_head:
+        positions = left_keys - right.hseqbase
+        valid = (positions >= 0) & (positions < right.count)
+        return BAT.from_pairs(left.head[valid], right.tail[positions[valid]], name=right.name)
+    order = np.argsort(right.head, kind="stable")
+    sorted_heads = right.head[order]
+    positions = np.searchsorted(sorted_heads, left_keys)
+    positions = np.clip(positions, 0, sorted_heads.size - 1)
+    valid = sorted_heads[positions] == left_keys
+    matched = order[positions[valid]]
+    return BAT.from_pairs(left.head[valid], right.tail[matched], name=right.name)
+
+
+def leftfetchjoin(left: BAT, right: BAT) -> BAT:
+    """Alias of :func:`join` kept for MAL-plan familiarity."""
+    return join(left, right)
+
+
+# ---------------------------------------------------------------------------
+# Aggregates
+# ---------------------------------------------------------------------------
+
+
+def aggr_sum(bat: BAT) -> float:
+    """Sum of the tail values."""
+    return float(bat.tail.sum()) if bat.count else 0.0
+
+
+def aggr_count(bat: BAT) -> int:
+    """Number of pairs."""
+    return bat.count
+
+
+def aggr_avg(bat: BAT) -> float:
+    """Mean of the tail values (0.0 for an empty BAT)."""
+    return float(bat.tail.mean()) if bat.count else 0.0
+
+
+def aggr_min(bat: BAT) -> float:
+    """Minimum tail value."""
+    if not bat.count:
+        raise ValueError("min() over an empty BAT")
+    return float(bat.tail.min())
+
+
+def aggr_max(bat: BAT) -> float:
+    """Maximum tail value."""
+    if not bat.count:
+        raise ValueError("max() over an empty BAT")
+    return float(bat.tail.max())

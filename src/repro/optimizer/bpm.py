@@ -1,0 +1,239 @@
+"""The Bat Partition Manager (BPM).
+
+The BPM owns the adaptive columns (segmented or replicated) that have been
+registered for self-organization, and exposes the ``bpm.*`` MAL module the
+segment optimizer's rewritten plans call at run time:
+
+.. code-block:: text
+
+    Y1 := bpm.take("sys", "p", "ra");
+    Y2 := bpm.new();
+    barrier rseg := bpm.newIterator(Y1, A0, A1, true, true);
+    T1 := algebra.select(rseg, A0, A1, true, true);
+    bpm.addSegment(Y2, T1);
+    redo rseg := bpm.hasMoreElements(Y1, A0, A1, true, true);
+    exit rseg;
+    X14 := bpm.result(Y2);
+
+``bpm.newIterator`` runs the adaptive column's range selection — which is
+where adaptation (splitting / replica materialization) is piggy-backed — and
+then hands the qualifying pieces to the plan one segment at a time, so the
+downstream plan shape matches the paper's §3.1 snippet.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.accounting import QueryStats
+from repro.core.models import SegmentationModel
+from repro.core.replication import ReplicatedColumn
+from repro.core.segmentation import SegmentedColumn
+from repro.storage.bat import BAT
+from repro.storage.catalog import Catalog
+
+
+@dataclass
+class AdaptiveColumnHandle:
+    """A registered adaptive column plus the bookkeeping the BPM needs."""
+
+    table: str
+    column: str
+    strategy: str
+    adaptive: SegmentedColumn | ReplicatedColumn
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.table}.{self.column}"
+
+    @property
+    def last_query_stats(self) -> QueryStats | None:
+        """Per-query stats of the most recent selection through this handle."""
+        history = self.adaptive.history
+        if history is None or len(history) == 0:
+            return None
+        return history[-1]
+
+
+@dataclass
+class _SegmentIterator:
+    """State of one barrier-block iteration over qualifying pieces."""
+
+    pieces: list[BAT]
+    position: int = 0
+
+    def next_piece(self) -> BAT | None:
+        if self.position >= len(self.pieces):
+            return None
+        piece = self.pieces[self.position]
+        self.position += 1
+        return piece
+
+
+class BatPartitionManager:
+    """Owns adaptive columns and implements the ``bpm`` MAL module."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self._handles: dict[tuple[str, str], AdaptiveColumnHandle] = {}
+        self._iterators: dict[int, _SegmentIterator] = {}
+        self.total_adaptation_seconds = 0.0
+        self.total_selection_seconds = 0.0
+
+    # -- administration -------------------------------------------------------
+
+    def enable(
+        self,
+        table: str,
+        column: str,
+        *,
+        strategy: str,
+        model: SegmentationModel,
+        values: np.ndarray,
+        domain: tuple[float, float] | None = None,
+        storage_budget: float | None = None,
+    ) -> AdaptiveColumnHandle:
+        """Hand a column over to the BPM with the chosen strategy and model."""
+        key = (table, column)
+        if key in self._handles:
+            raise ValueError(f"column {table}.{column} is already adaptive")
+        if strategy == "segmentation":
+            adaptive: SegmentedColumn | ReplicatedColumn = SegmentedColumn(
+                values, model=model, domain=domain
+            )
+        elif strategy == "replication":
+            adaptive = ReplicatedColumn(
+                values, model=model, domain=domain, storage_budget=storage_budget
+            )
+        else:
+            raise ValueError(f"unknown adaptive strategy {strategy!r}")
+        handle = AdaptiveColumnHandle(table=table, column=column, strategy=strategy, adaptive=adaptive)
+        self._handles[key] = handle
+        self.catalog.register_adaptive(table, column, strategy)
+        return handle
+
+    def disable(self, table: str, column: str) -> None:
+        """Return a column to its plain positional organisation."""
+        self._handles.pop((table, column), None)
+        self.catalog.unregister_adaptive(table, column)
+
+    def handle(self, table: str, column: str) -> AdaptiveColumnHandle:
+        """Look up the handle of an adaptive column."""
+        try:
+            return self._handles[(table, column)]
+        except KeyError as exc:
+            raise KeyError(f"column {table}.{column} is not managed by the BPM") from exc
+
+    def handles(self) -> list[AdaptiveColumnHandle]:
+        """All registered adaptive columns."""
+        return list(self._handles.values())
+
+    def is_managed(self, table: str, column: str) -> bool:
+        """True when the column is managed by the BPM."""
+        return (table, column) in self._handles
+
+    # -- MAL module implementation -----------------------------------------------
+
+    def mal_module(self) -> dict[str, Any]:
+        """The ``bpm`` module functions to register with the MAL registry."""
+        return {
+            "take": self._mal_take,
+            "new": self._mal_new,
+            "newIterator": self._mal_new_iterator,
+            "hasMoreElements": self._mal_has_more_elements,
+            "addSegment": self._mal_add_segment,
+            "result": self._mal_result,
+        }
+
+    def _mal_take(self, ctx, schema: str, table: str, column: str) -> AdaptiveColumnHandle:
+        return self.handle(table, column)
+
+    @staticmethod
+    def _mal_new(ctx) -> list[BAT]:
+        return []
+
+    def _mal_new_iterator(
+        self, ctx, handle: AdaptiveColumnHandle, low, high, include_low=True, include_high=False
+    ) -> BAT | None:
+        iterator = self._start_iteration(handle, low, high, include_low, include_high)
+        self._iterators[id(handle)] = iterator
+        return iterator.next_piece()
+
+    def _mal_has_more_elements(
+        self, ctx, handle: AdaptiveColumnHandle, low, high, include_low=True, include_high=False
+    ) -> BAT | None:
+        iterator = self._iterators.get(id(handle))
+        if iterator is None:
+            return None
+        piece = iterator.next_piece()
+        if piece is None:
+            del self._iterators[id(handle)]
+        return piece
+
+    @staticmethod
+    def _mal_add_segment(ctx, accumulator: list[BAT], piece: BAT) -> list[BAT]:
+        accumulator.append(piece)
+        return accumulator
+
+    @staticmethod
+    def _mal_result(ctx, accumulator: list[BAT]) -> BAT:
+        if not accumulator:
+            return BAT.from_pairs(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        heads = np.concatenate([piece.head for piece in accumulator])
+        tails = np.concatenate([piece.tail for piece in accumulator])
+        return BAT.from_pairs(heads, tails)
+
+    # -- the piggy-backed selection ------------------------------------------------
+
+    def _start_iteration(
+        self,
+        handle: AdaptiveColumnHandle,
+        low: float,
+        high: float,
+        include_low: bool,
+        include_high: bool,
+    ) -> _SegmentIterator:
+        """Run the adaptive selection and expose its result one piece at a time."""
+        adaptive = handle.adaptive
+        effective_low, effective_high = self._half_open_bounds(
+            adaptive, low, high, include_low, include_high
+        )
+        started = time.perf_counter()
+        result = adaptive.select(effective_low, effective_high)
+        elapsed = time.perf_counter() - started
+        stats = handle.last_query_stats
+        if stats is not None and (stats.selection_seconds or stats.adaptation_seconds):
+            self.total_selection_seconds += stats.selection_seconds
+            self.total_adaptation_seconds += stats.adaptation_seconds
+        else:
+            self.total_selection_seconds += elapsed
+        pieces: list[BAT] = []
+        if result.count:
+            # Candidate lists carry the qualifying oids in head and tail, the
+            # same shape algebra.uselect produces.
+            pieces.append(BAT.from_pairs(result.oids, result.values))
+        return _SegmentIterator(pieces=pieces)
+
+    @staticmethod
+    def _half_open_bounds(
+        adaptive: SegmentedColumn | ReplicatedColumn,
+        low: float,
+        high: float,
+        include_low: bool,
+        include_high: bool,
+    ) -> tuple[float, float]:
+        """Translate SQL bound semantics into the core's half-open ranges."""
+        domain = adaptive.domain
+        effective_low = max(float(low), domain.low) if np.isfinite(low) else domain.low
+        effective_high = min(float(high), domain.high) if np.isfinite(high) else domain.high
+        if not include_low and np.isfinite(low):
+            effective_low = float(np.nextafter(effective_low, np.inf))
+        if include_high and np.isfinite(high):
+            effective_high = float(np.nextafter(effective_high, np.inf))
+        effective_high = min(effective_high, domain.high)
+        effective_low = max(min(effective_low, effective_high), domain.low)
+        return effective_low, effective_high

@@ -1,0 +1,109 @@
+"""Result containers and derived series for simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.accounting import QueryLog
+from repro.storage.buffer import BufferStats
+from repro.util.stats import moving_average
+from repro.util.units import KB
+
+
+@dataclass(frozen=True)
+class MetricsSummary:
+    """Aggregate measurements of one run (one strategy/model/workload)."""
+
+    queries: int
+    total_reads_bytes: float
+    total_writes_bytes: float
+    average_read_bytes: float
+    average_read_kb: float
+    final_segment_count: int
+    final_storage_bytes: float
+    peak_storage_bytes: float
+    total_selection_seconds: float
+    total_adaptation_seconds: float
+    disk_reads_bytes: float = 0.0
+    disk_writes_bytes: float = 0.0
+    buffer_hit_ratio: float = 0.0
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one simulated run produced.
+
+    ``label`` identifies the run in the paper's terms (e.g. ``"APM Repl"``),
+    ``log`` holds the per-query records, and the helper methods derive the
+    exact series plotted in the figures.
+    """
+
+    label: str
+    strategy: str
+    model: str
+    workload: str
+    log: QueryLog
+    column_bytes: float
+    buffer_stats: BufferStats | None = None
+    metadata: dict = field(default_factory=dict)
+
+    # -- series (the figures) ---------------------------------------------
+
+    def cumulative_writes(self) -> list[float]:
+        """Cumulative memory writes due to segment materialization (Fig 5/6)."""
+        return self.log.cumulative("writes_bytes")
+
+    def reads_series(self) -> list[float]:
+        """Per-query memory reads in bytes (Fig 7)."""
+        return self.log.series("reads_bytes")
+
+    def storage_series(self) -> list[float]:
+        """Replica storage after each query in bytes (Fig 8/9)."""
+        return self.log.series("storage_bytes")
+
+    def segment_count_series(self) -> list[int]:
+        """Number of segments after each query."""
+        return [int(x) for x in self.log.series("segment_count")]
+
+    def cumulative_time_series(self) -> list[float]:
+        """Cumulative per-query wall-clock seconds (Fig 11/13/15)."""
+        total = [r.selection_seconds + r.adaptation_seconds for r in self.log]
+        return list(np.cumsum(total))
+
+    def moving_average_time_series(self, window: int = 20) -> list[float]:
+        """Moving average of per-query seconds (Fig 12/14/16)."""
+        total = [r.selection_seconds + r.adaptation_seconds for r in self.log]
+        return list(moving_average(total, window))
+
+    # -- aggregates (the tables) ----------------------------------------------
+
+    def summary(self) -> MetricsSummary:
+        """Aggregate metrics for tables such as Table 1."""
+        records = list(self.log)
+        queries = len(records)
+        total_reads = sum(r.reads_bytes for r in records)
+        total_writes = sum(r.writes_bytes for r in records)
+        average_read = total_reads / queries if queries else 0.0
+        storage = [r.storage_bytes for r in records] or [self.column_bytes]
+        buffer_stats = self.buffer_stats
+        return MetricsSummary(
+            queries=queries,
+            total_reads_bytes=total_reads,
+            total_writes_bytes=total_writes,
+            average_read_bytes=average_read,
+            average_read_kb=average_read / KB,
+            final_segment_count=int(records[-1].segment_count) if records else 1,
+            final_storage_bytes=storage[-1],
+            peak_storage_bytes=max(storage),
+            total_selection_seconds=sum(r.selection_seconds for r in records),
+            total_adaptation_seconds=sum(r.adaptation_seconds for r in records),
+            disk_reads_bytes=buffer_stats.disk_reads_bytes if buffer_stats else 0.0,
+            disk_writes_bytes=buffer_stats.disk_writes_bytes if buffer_stats else 0.0,
+            buffer_hit_ratio=buffer_stats.hit_ratio if buffer_stats else 0.0,
+        )
+
+    def average_read_kb(self) -> float:
+        """Average per-query read size in KB (the Table 1 metric)."""
+        return self.summary().average_read_kb

@@ -1,0 +1,200 @@
+"""A recursive-descent parser for the supported SQL subset.
+
+Grammar (case-insensitive keywords)::
+
+    select    := SELECT projection FROM identifier [WHERE conjunction] [LIMIT number]
+    projection:= '*' | column (',' column)* | aggregate (',' aggregate)*
+    aggregate := (SUM|COUNT|AVG|MIN|MAX) '(' (column | '*') ')'
+    conjunction := predicate (AND predicate)*
+    predicate := column BETWEEN number AND number
+               | column ('<' | '<=' | '>' | '>=' | '=' | '<>') number
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.sql.ast import Aggregate, ComparisonPredicate, RangePredicate, SelectStatement
+
+
+class SQLSyntaxError(ValueError):
+    """Raised when the query text cannot be parsed."""
+
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    \s*(?:
+        (?P<number>[-+]?\d+(?:\.\d*)?(?:[eE][-+]?\d+)?)
+      | (?P<identifier>[A-Za-z_][A-Za-z0-9_.]*)
+      | (?P<operator><=|>=|<>|=|<|>)
+      | (?P<punct>[(),*])
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "from", "where", "and", "between", "limit"}
+_AGGREGATES = {"sum", "count", "avg", "min", "max"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+
+    @property
+    def lowered(self) -> str:
+        return self.text.lower()
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise SQLSyntaxError(f"unexpected input at: {remainder[:25]!r}")
+        position = match.end()
+        for kind in ("number", "identifier", "operator", "punct"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append(_Token(kind, value))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self) -> _Token | None:
+        return self.tokens[self.position] if self.position < len(self.tokens) else None
+
+    def advance(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise SQLSyntaxError("unexpected end of query")
+        self.position += 1
+        return token
+
+    def expect_keyword(self, keyword: str) -> None:
+        token = self.advance()
+        if token.kind != "identifier" or token.lowered != keyword:
+            raise SQLSyntaxError(f"expected {keyword.upper()}, found {token.text!r}")
+
+    def accept_keyword(self, keyword: str) -> bool:
+        token = self.peek()
+        if token is not None and token.kind == "identifier" and token.lowered == keyword:
+            self.position += 1
+            return True
+        return False
+
+    def accept_punct(self, char: str) -> bool:
+        token = self.peek()
+        if token is not None and token.kind == "punct" and token.text == char:
+            self.position += 1
+            return True
+        return False
+
+    def expect_punct(self, char: str) -> None:
+        if not self.accept_punct(char):
+            found = self.peek().text if self.peek() else "<eof>"
+            raise SQLSyntaxError(f"expected {char!r}, found {found!r}")
+
+    def expect_identifier(self) -> str:
+        token = self.advance()
+        if token.kind != "identifier" or token.lowered in _KEYWORDS:
+            raise SQLSyntaxError(f"expected an identifier, found {token.text!r}")
+        return token.text.lower()
+
+    def expect_number(self) -> float:
+        token = self.advance()
+        if token.kind != "number":
+            raise SQLSyntaxError(f"expected a number, found {token.text!r}")
+        return float(token.text)
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse_select(self) -> SelectStatement:
+        self.expect_keyword("select")
+        columns, aggregates = self._parse_projection()
+        self.expect_keyword("from")
+        table = self.expect_identifier()
+        predicates: list[RangePredicate | ComparisonPredicate] = []
+        if self.accept_keyword("where"):
+            predicates.append(self._parse_predicate())
+            while self.accept_keyword("and"):
+                predicates.append(self._parse_predicate())
+        limit = None
+        if self.accept_keyword("limit"):
+            limit = int(self.expect_number())
+        if self.peek() is not None:
+            raise SQLSyntaxError(f"unexpected trailing input: {self.peek().text!r}")
+        return SelectStatement(
+            table=table,
+            columns=tuple(columns),
+            aggregates=tuple(aggregates),
+            predicates=tuple(predicates),
+            limit=limit,
+        )
+
+    def _parse_projection(self) -> tuple[list[str], list[Aggregate]]:
+        token = self.peek()
+        if token is None:
+            raise SQLSyntaxError("missing projection list")
+        if token.kind == "punct" and token.text == "*":
+            self.advance()
+            return ["*"], []
+        if token.kind == "identifier" and token.lowered in _AGGREGATES:
+            aggregates = [self._parse_aggregate()]
+            while self.accept_punct(","):
+                aggregates.append(self._parse_aggregate())
+            return [], aggregates
+        columns = [self.expect_identifier()]
+        while self.accept_punct(","):
+            columns.append(self.expect_identifier())
+        return columns, []
+
+    def _parse_aggregate(self) -> Aggregate:
+        function = self.advance().lowered
+        if function not in _AGGREGATES:
+            raise SQLSyntaxError(f"unknown aggregate {function!r}")
+        self.expect_punct("(")
+        if self.accept_punct("*"):
+            column: str | None = None
+        else:
+            column = self.expect_identifier()
+        self.expect_punct(")")
+        return Aggregate(function=function, column=column)
+
+    def _parse_predicate(self) -> RangePredicate | ComparisonPredicate:
+        column = self.expect_identifier()
+        token = self.peek()
+        if token is not None and token.kind == "identifier" and token.lowered == "between":
+            self.advance()
+            low = self.expect_number()
+            self.expect_keyword("and")
+            high = self.expect_number()
+            return RangePredicate(column=column, low=low, high=high)
+        operator_token = self.advance()
+        if operator_token.kind != "operator":
+            raise SQLSyntaxError(
+                f"expected a comparison operator after {column!r}, found {operator_token.text!r}"
+            )
+        value = self.expect_number()
+        return ComparisonPredicate(column=column, operator=operator_token.text, value=value)
+
+
+def parse(text: str) -> SelectStatement:
+    """Parse a query string into a :class:`SelectStatement`."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise SQLSyntaxError("empty query")
+    return _Parser(tokens).parse_select()

@@ -1,0 +1,116 @@
+"""The relational catalog: table schemas and their BAT families.
+
+The SQL compiler maps relational tables onto collections of BATs (§2); the
+catalog is the authority for that mapping.  It also records which columns have
+been handed over to the Bat Partition Manager for adaptive segmentation or
+replication, so the segment optimizer can detect them in query plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.storage.column import ColumnStore, StoredColumn
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """A table name plus an ordered mapping of column names to dtypes."""
+
+    name: str
+    columns: tuple[tuple[str, str], ...]
+
+    @classmethod
+    def of(cls, name: str, columns: dict[str, Any]) -> "TableSchema":
+        """Build a schema from a plain ``{column: dtype}`` mapping."""
+        normalised = tuple((col, np.dtype(dtype).name) for col, dtype in columns.items())
+        return cls(name=name, columns=normalised)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.columns)
+
+    def dtype_of(self, column: str) -> np.dtype:
+        for name, dtype in self.columns:
+            if name == column:
+                return np.dtype(dtype)
+        raise KeyError(f"table {self.name!r} has no column {column!r}")
+
+
+@dataclass
+class Catalog:
+    """All tables of the database plus adaptive-column registrations."""
+
+    schemas: dict[str, TableSchema] = field(default_factory=dict)
+    stores: dict[str, ColumnStore] = field(default_factory=dict)
+    adaptive_columns: dict[tuple[str, str], str] = field(default_factory=dict)
+
+    # -- tables ---------------------------------------------------------------
+
+    def create_table(self, name: str, columns: dict[str, Any]) -> TableSchema:
+        """Create a table and its (empty) BAT family."""
+        if name in self.schemas:
+            raise ValueError(f"table {name!r} already exists")
+        if not columns:
+            raise ValueError(f"table {name!r} must have at least one column")
+        schema = TableSchema.of(name, columns)
+        store = ColumnStore(name)
+        for column, dtype in schema.columns:
+            store.add_column(column, dtype)
+        self.schemas[name] = schema
+        self.stores[name] = store
+        return schema
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table, its BATs and any adaptive registrations."""
+        self.schemas.pop(name, None)
+        self.stores.pop(name, None)
+        for key in [key for key in self.adaptive_columns if key[0] == name]:
+            del self.adaptive_columns[key]
+
+    def table(self, name: str) -> ColumnStore:
+        """The BAT family of a table."""
+        try:
+            return self.stores[name]
+        except KeyError as exc:
+            raise KeyError(f"unknown table {name!r}") from exc
+
+    def schema(self, name: str) -> TableSchema:
+        """The schema of a table."""
+        try:
+            return self.schemas[name]
+        except KeyError as exc:
+            raise KeyError(f"unknown table {name!r}") from exc
+
+    def column(self, table: str, column: str) -> StoredColumn:
+        """A column's BAT family."""
+        return self.table(table).column(column)
+
+    @property
+    def table_names(self) -> list[str]:
+        """All known tables, sorted."""
+        return sorted(self.schemas)
+
+    # -- adaptive registrations ---------------------------------------------------
+
+    def register_adaptive(self, table: str, column: str, strategy: str) -> None:
+        """Mark a column as managed by the BPM with the given strategy."""
+        self.schema(table).dtype_of(column)  # validates table and column
+        if strategy not in {"segmentation", "replication"}:
+            raise ValueError(f"unknown adaptive strategy {strategy!r}")
+        self.adaptive_columns[(table, column)] = strategy
+
+    def unregister_adaptive(self, table: str, column: str) -> None:
+        """Remove an adaptive registration (back to positional organisation)."""
+        self.adaptive_columns.pop((table, column), None)
+
+    def adaptive_strategy(self, table: str, column: str) -> str | None:
+        """The registered strategy for a column, or ``None``."""
+        return self.adaptive_columns.get((table, column))
+
+    def is_adaptive(self, table: str, column: str) -> bool:
+        """True when the column is managed by the BPM."""
+        return (table, column) in self.adaptive_columns

@@ -1,0 +1,189 @@
+"""Stored columns: persistent BATs plus delta BATs.
+
+MonetDB's SQL layer represents every column of a relational table as a small
+family of BATs: the persistent payload (bind level 0), the pending inserts
+(level 1) and the pending updates (level 2); deletions are tracked per table
+in a separate deletion BAT (``bind_dbat``).  The Fig-1 query plan unions and
+differences these pieces before evaluating predicates — the reproduction
+follows the same structure so that the generated plans look like the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.storage.bat import BAT
+
+#: Bind levels used by ``sql.bind`` in MAL plans.
+BIND_PERSISTENT = 0
+BIND_INSERTS = 1
+BIND_UPDATES = 2
+
+
+class StoredColumn:
+    """One relational column stored as persistent + delta BATs."""
+
+    def __init__(self, table: str, name: str, dtype: Any) -> None:
+        self.table = table
+        self.name = name
+        self.dtype = np.dtype(dtype)
+        self._persistent = BAT.empty(self.dtype, name=self.qualified_name(BIND_PERSISTENT))
+        self._inserts = BAT.empty(self.dtype, name=self.qualified_name(BIND_INSERTS))
+        self._updates = BAT.from_pairs(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=self.dtype),
+            name=self.qualified_name(BIND_UPDATES),
+        )
+
+    def qualified_name(self, level: int) -> str:
+        """The diagnostic BAT name, e.g. ``"sys_P_ra_0"``."""
+        return f"sys_{self.table}_{self.name}_{level}"
+
+    # -- data access --------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of persistent values (excluding pending inserts)."""
+        return self._persistent.count
+
+    @property
+    def value_width(self) -> int:
+        """Bytes per value."""
+        return int(self.dtype.itemsize)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total bytes across persistent and delta BATs."""
+        return self._persistent.size_bytes + self._inserts.size_bytes + self._updates.size_bytes
+
+    def bind(self, level: int) -> BAT:
+        """The BAT for a ``sql.bind`` at the given level (0, 1 or 2)."""
+        if level == BIND_PERSISTENT:
+            return self._persistent
+        if level == BIND_INSERTS:
+            return self._inserts
+        if level == BIND_UPDATES:
+            return self._updates
+        raise ValueError(f"unknown bind level {level}; expected 0, 1 or 2")
+
+    # -- modification -----------------------------------------------------------
+
+    def bulk_load(self, values: np.ndarray, *, start_oid: int = 0) -> None:
+        """Replace the persistent BAT with freshly loaded values."""
+        values = np.asarray(values, dtype=self.dtype)
+        self._persistent = BAT(values, hseqbase=start_oid, name=self.qualified_name(0))
+
+    def append(self, values: np.ndarray, *, start_oid: int) -> None:
+        """Record newly inserted values in the insert-delta BAT."""
+        values = np.asarray(values, dtype=self.dtype)
+        fresh = BAT(values, hseqbase=start_oid, name=self.qualified_name(1))
+        self._inserts = self._inserts.append(fresh)
+
+    def update(self, oids: np.ndarray, values: np.ndarray) -> None:
+        """Record updated values in the update-delta BAT."""
+        oids = np.asarray(oids, dtype=np.int64)
+        values = np.asarray(values, dtype=self.dtype)
+        if oids.size != values.size:
+            raise ValueError("update oids and values must have equal length")
+        fresh = BAT.from_pairs(oids, values, name=self.qualified_name(2))
+        self._updates = self._updates.append(fresh)
+
+    def merge_deltas(self) -> np.ndarray:
+        """The logical column contents with deltas applied (no deletions).
+
+        Equivalent to the kunion/kdifference cascade the SQL compiler emits,
+        evaluated eagerly; used for loading adaptive columns and by tests.
+        """
+        base = self._persistent.tail
+        if self._inserts.count:
+            base = np.concatenate([base, self._inserts.tail])
+        if not self._updates.count:
+            return base.copy()
+        merged = base.copy()
+        merged[self._updates.head] = self._updates.tail
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StoredColumn({self.table}.{self.name}, dtype={self.dtype}, "
+            f"count={self.count}, inserts={self._inserts.count})"
+        )
+
+
+class ColumnStore:
+    """All columns of one table plus the table-level deletion BAT."""
+
+    def __init__(self, table: str) -> None:
+        self.table = table
+        self.columns: dict[str, StoredColumn] = {}
+        self._deleted_oids = BAT.from_pairs(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), name=f"sys_{table}_dbat"
+        )
+        self._next_oid = 0
+
+    # -- schema -------------------------------------------------------------
+
+    def add_column(self, name: str, dtype: Any) -> StoredColumn:
+        """Create a column; fails if it already exists."""
+        if name in self.columns:
+            raise ValueError(f"column {name!r} already exists in table {self.table!r}")
+        column = StoredColumn(self.table, name, dtype)
+        self.columns[name] = column
+        return column
+
+    def column(self, name: str) -> StoredColumn:
+        """Look up a column by name."""
+        try:
+            return self.columns[name]
+        except KeyError as exc:
+            raise KeyError(f"table {self.table!r} has no column {name!r}") from exc
+
+    # -- data ------------------------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        """Number of logical rows (loaded plus inserted, minus deletions)."""
+        return self._next_oid - self._deleted_oids.count
+
+    @property
+    def deletion_bat(self) -> BAT:
+        """The table's deletion BAT (``sql.bind_dbat``)."""
+        return self._deleted_oids
+
+    def bulk_load(self, data: dict[str, np.ndarray]) -> None:
+        """Load aligned arrays into all columns at once (a fresh table)."""
+        lengths = {name: np.asarray(values).size for name, values in data.items()}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"bulk load arrays differ in length: {lengths}")
+        missing = set(self.columns) - set(data)
+        if missing:
+            raise ValueError(f"bulk load is missing columns: {sorted(missing)}")
+        unknown = set(data) - set(self.columns)
+        if unknown:
+            raise ValueError(f"bulk load has unknown columns: {sorted(unknown)}")
+        for name, values in data.items():
+            self.columns[name].bulk_load(values, start_oid=0)
+        self._next_oid = next(iter(lengths.values()), 0)
+
+    def insert(self, data: dict[str, np.ndarray]) -> None:
+        """Append rows to the insert deltas of all columns."""
+        lengths = {name: np.asarray(values).size for name, values in data.items()}
+        if set(data) != set(self.columns):
+            raise ValueError("insert must provide every column of the table")
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"insert arrays differ in length: {lengths}")
+        count = next(iter(lengths.values()), 0)
+        for name, values in data.items():
+            self.columns[name].append(values, start_oid=self._next_oid)
+        self._next_oid += count
+
+    def delete(self, oids: np.ndarray) -> None:
+        """Mark the given oids as deleted."""
+        oids = np.asarray(oids, dtype=np.int64)
+        fresh = BAT.from_pairs(oids, oids, name=self._deleted_oids.name)
+        self._deleted_oids = self._deleted_oids.append(fresh)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ColumnStore(table={self.table!r}, columns={sorted(self.columns)}, rows={self.row_count})"

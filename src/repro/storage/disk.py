@@ -1,0 +1,59 @@
+"""A simple cost model for the secondary store.
+
+The paper's evaluation machine is disk bound on most SkyServer queries.  The
+simulator expresses I/O in bytes; this module converts byte counters into
+estimated milliseconds with a sequential-bandwidth plus per-access-latency
+model, which the harness uses when presenting simulated runs in the paper's
+"time" units.  The defaults approximate the 2007-era desktop disk of the
+paper's evaluation platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import MB
+from repro.util.validation import ensure_positive
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Sequential-bandwidth + seek-latency cost model."""
+
+    bandwidth_bytes_per_s: float = 60 * MB
+    seek_latency_s: float = 0.008
+    memory_bandwidth_bytes_per_s: float = 2_000 * MB
+
+    def __post_init__(self) -> None:
+        ensure_positive("bandwidth_bytes_per_s", self.bandwidth_bytes_per_s)
+        ensure_positive("memory_bandwidth_bytes_per_s", self.memory_bandwidth_bytes_per_s)
+        ensure_positive("seek_latency_s", self.seek_latency_s, allow_zero=True)
+
+    def disk_seconds(self, n_bytes: float, n_accesses: int = 1) -> float:
+        """Seconds to transfer ``n_bytes`` in ``n_accesses`` sequential runs."""
+        if n_bytes < 0:
+            raise ValueError(f"byte count must be non-negative, got {n_bytes}")
+        if n_accesses < 0:
+            raise ValueError(f"access count must be non-negative, got {n_accesses}")
+        return n_accesses * self.seek_latency_s + n_bytes / self.bandwidth_bytes_per_s
+
+    def memory_seconds(self, n_bytes: float) -> float:
+        """Seconds to stream ``n_bytes`` through memory."""
+        if n_bytes < 0:
+            raise ValueError(f"byte count must be non-negative, got {n_bytes}")
+        return n_bytes / self.memory_bandwidth_bytes_per_s
+
+    def query_seconds(
+        self,
+        memory_reads_bytes: float,
+        memory_writes_bytes: float,
+        disk_reads_bytes: float,
+        disk_writes_bytes: float,
+        *,
+        disk_accesses: int = 1,
+    ) -> float:
+        """Estimated wall-clock seconds for one query's worth of I/O."""
+        return (
+            self.memory_seconds(memory_reads_bytes + memory_writes_bytes)
+            + self.disk_seconds(disk_reads_bytes + disk_writes_bytes, disk_accesses)
+        )

@@ -1,0 +1,42 @@
+"""Workload generation: range-query streams and synthetic columns.
+
+The simulation experiments (§6.1) use uniform and Zipf-distributed range
+queries with fixed selectivity over an integer column; the prototype
+experiments (§6.2) replay SkyServer-style *random*, *skewed* and *changing*
+workloads against a large real-valued right-ascension column.  Both are
+generated here.
+"""
+
+from repro.workloads.query import RangeQuery, Workload
+from repro.workloads.generators import (
+    WorkloadSpec,
+    changing_workload,
+    hotspot_workload,
+    make_column,
+    uniform_workload,
+    zipf_workload,
+)
+from repro.workloads.replay import load_workload, save_workload
+from repro.workloads.skyserver import (
+    SkyServerDataset,
+    skyserver_column,
+    skyserver_dataset,
+    skyserver_workload,
+)
+
+__all__ = [
+    "RangeQuery",
+    "Workload",
+    "WorkloadSpec",
+    "changing_workload",
+    "hotspot_workload",
+    "make_column",
+    "uniform_workload",
+    "zipf_workload",
+    "load_workload",
+    "save_workload",
+    "SkyServerDataset",
+    "skyserver_column",
+    "skyserver_dataset",
+    "skyserver_workload",
+]

@@ -1,0 +1,88 @@
+"""Range queries and query streams (workloads)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.ranges import ValueRange
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """A range-selection predicate ``low <= value < high``.
+
+    This is the only query shape the paper's evaluation uses ("select ...
+    where ra between a and b"); the engine layer additionally supports
+    projections and aggregates over the qualifying tuples.
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError(f"query high must be >= low, got [{self.low}, {self.high})")
+
+    @property
+    def vrange(self) -> ValueRange:
+        """The query as a :class:`ValueRange`."""
+        return ValueRange(self.low, self.high)
+
+    @property
+    def width(self) -> float:
+        """Extent of the query range in domain units."""
+        return self.high - self.low
+
+
+@dataclass
+class Workload:
+    """An ordered stream of range queries plus descriptive metadata."""
+
+    name: str
+    queries: list[RangeQuery]
+    domain: tuple[float, float]
+    selectivity: float | None = None
+    description: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[RangeQuery]:
+        return iter(self.queries)
+
+    def __getitem__(self, item):
+        return self.queries[item]
+
+    def head(self, n: int) -> "Workload":
+        """A shortened copy containing only the first ``n`` queries."""
+        return Workload(
+            name=self.name,
+            queries=list(self.queries[:n]),
+            domain=self.domain,
+            selectivity=self.selectivity,
+            description=self.description,
+            metadata=dict(self.metadata),
+        )
+
+    def coverage_fraction(self) -> float:
+        """Fraction of the domain touched by at least one query.
+
+        Useful to characterise skew: the paper's skewed SkyServer workload
+        accesses "two very limited areas of the domain".
+        """
+        domain_low, domain_high = self.domain
+        width = domain_high - domain_low
+        if width <= 0 or not self.queries:
+            return 0.0
+        from repro.core.ranges import coalesce_ranges
+
+        merged = coalesce_ranges([q.vrange for q in self.queries])
+        covered = sum(r.width for r in merged)
+        return min(1.0, covered / width)
+
+
+def queries_from_pairs(pairs: Sequence[tuple[float, float]]) -> list[RangeQuery]:
+    """Build a query list from ``(low, high)`` pairs (convenience for tests)."""
+    return [RangeQuery(float(low), float(high)) for low, high in pairs]

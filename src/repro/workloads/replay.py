@@ -1,0 +1,64 @@
+"""Saving and replaying query logs.
+
+The paper's §6.2 workloads are filtered from a real one-month SkyServer query
+log.  To let users of this library do the same with their own traces, this
+module round-trips workloads through a small CSV format (one query per line:
+``low,high``) so a trace captured from a production system can be replayed
+against any of the adaptive strategies or the SQL engine.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.workloads.query import RangeQuery, Workload
+
+
+def save_workload(workload: Workload, path: str | Path) -> Path:
+    """Write a workload as CSV (header + one ``low,high`` row per query)."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["low", "high"])
+        for query in workload:
+            writer.writerow([repr(float(query.low)), repr(float(query.high))])
+    return path
+
+
+def load_workload(
+    path: str | Path,
+    *,
+    name: str | None = None,
+    domain: tuple[float, float] | None = None,
+) -> Workload:
+    """Read a workload saved by :func:`save_workload` (or any ``low,high`` CSV).
+
+    ``domain`` defaults to the smallest range containing every query, which is
+    what the adaptive strategies need when the original attribute domain is
+    unknown.
+    """
+    path = Path(path)
+    queries: list[RangeQuery] = []
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise ValueError(f"workload file {path} is empty")
+        if [column.strip().lower() for column in header[:2]] != ["low", "high"]:
+            # Tolerate headerless files by treating the first row as data.
+            queries.append(RangeQuery(float(header[0]), float(header[1])))
+        for row in reader:
+            if not row or not row[0].strip():
+                continue
+            queries.append(RangeQuery(float(row[0]), float(row[1])))
+    if not queries:
+        raise ValueError(f"workload file {path} contains no queries")
+    if domain is None:
+        domain = (min(q.low for q in queries), max(q.high for q in queries))
+    return Workload(
+        name=name or path.stem,
+        queries=queries,
+        domain=domain,
+        description=f"replayed from {path.name} ({len(queries)} queries)",
+    )

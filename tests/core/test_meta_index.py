@@ -1,0 +1,83 @@
+"""Unit tests for the sparse segment meta-index."""
+
+import numpy as np
+import pytest
+
+from repro.core.meta_index import SegmentMetaIndex
+from repro.core.ranges import ValueRange
+from repro.core.segment import Segment
+
+
+def make_segment(low: float, high: float, count: int = 10) -> Segment:
+    rng = np.random.default_rng(int(low) + 1)
+    values = rng.uniform(low, high, size=count).astype(np.float64)
+    return Segment(ValueRange(low, high), values)
+
+
+@pytest.fixture
+def index() -> SegmentMetaIndex:
+    return SegmentMetaIndex([make_segment(0, 25), make_segment(25, 60), make_segment(60, 100)])
+
+
+class TestMaintenance:
+    def test_segments_kept_in_value_order(self, index):
+        lows = [segment.vrange.low for segment in index]
+        assert lows == sorted(lows)
+
+    def test_add_rejects_overlap(self, index):
+        with pytest.raises(ValueError):
+            index.add(make_segment(20, 30))
+
+    def test_replace_with_subsegments(self, index):
+        target = index.segments[1]
+        pieces = target.partition([40])
+        index.replace(target, pieces)
+        assert len(index) == 4
+        index.check_invariants()
+
+    def test_replace_unknown_segment_fails(self, index):
+        foreign = make_segment(200, 300)
+        with pytest.raises(KeyError):
+            index.replace(foreign, [foreign])
+
+    def test_replace_with_empty_list_removes(self, index):
+        target = index.segments[0]
+        index.replace(target, [])
+        assert len(index) == 2
+
+
+class TestLookups:
+    def test_overlapping_middle_query(self, index):
+        hits = index.overlapping(ValueRange(30, 70))
+        assert [s.vrange for s in hits] == [ValueRange(25, 60), ValueRange(60, 100)]
+
+    def test_overlapping_respects_half_open_bounds(self, index):
+        hits = index.overlapping(ValueRange(25, 26))
+        assert [s.vrange for s in hits] == [ValueRange(25, 60)]
+
+    def test_overlapping_empty_query(self, index):
+        assert index.overlapping(ValueRange(50, 50)) == []
+
+    def test_overlapping_outside_domain(self, index):
+        assert index.overlapping(ValueRange(500, 600)) == []
+
+    def test_covering_value(self, index):
+        segment = index.covering(61.0)
+        assert segment is not None and segment.vrange == ValueRange(60, 100)
+        assert index.covering(-5.0) is None
+        assert index.covering(100.0) is None
+
+    def test_footprint_estimation(self, index):
+        footprint = index.estimated_footprint_bytes(ValueRange(30, 70))
+        expected = sum(s.size_bytes for s in index.overlapping(ValueRange(30, 70)))
+        assert footprint == expected
+
+
+class TestInvariants:
+    def test_check_invariants_passes_for_valid_index(self, index):
+        index.check_invariants()
+
+    def test_check_invariants_detects_stale_cache(self, index):
+        index._lows[0] = 42.0  # simulate corruption
+        with pytest.raises(AssertionError):
+            index.check_invariants()

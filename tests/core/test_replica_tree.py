@@ -1,0 +1,97 @@
+"""Unit tests for the replica tree structure."""
+
+import numpy as np
+import pytest
+
+from repro.core.ranges import ValueRange
+from repro.core.replica_tree import ReplicaNode, ReplicaTree
+from repro.core.segment import Segment
+
+
+def materialized(low: float, high: float, count: int = 16) -> Segment:
+    values = np.linspace(low, high, count, endpoint=False)
+    return Segment(ValueRange(low, high), values)
+
+
+def virtual(low: float, high: float, count: float = 16) -> Segment:
+    return Segment(ValueRange(low, high), value_width=8, estimated_count=count)
+
+
+@pytest.fixture
+def tree() -> ReplicaTree:
+    return ReplicaTree(materialized(0, 100, 64))
+
+
+class TestNodes:
+    def test_add_child_orders_by_range(self, tree):
+        root = tree.roots[0]
+        upper = ReplicaNode(virtual(50, 100))
+        lower = ReplicaNode(materialized(0, 50, 32))
+        root.add_child(upper)
+        root.add_child(lower)
+        assert [child.vrange.low for child in root.children] == [0, 50]
+        assert all(child.parent is root for child in root.children)
+
+    def test_add_child_rejects_escaping_range(self, tree):
+        with pytest.raises(ValueError):
+            tree.roots[0].add_child(ReplicaNode(virtual(50, 150)))
+
+    def test_depth_and_walk(self, tree):
+        root = tree.roots[0]
+        child = ReplicaNode(materialized(0, 50, 32))
+        grandchild = ReplicaNode(virtual(0, 25))
+        root.add_child(child)
+        root.add_child(ReplicaNode(virtual(50, 100)))
+        child.add_child(grandchild)
+        child.add_child(ReplicaNode(virtual(25, 50)))
+        assert root.depth() == 2
+        assert len(list(root.walk())) == 5
+
+
+class TestTree:
+    def test_storage_counts_only_materialized(self, tree):
+        root = tree.roots[0]
+        root.add_child(ReplicaNode(materialized(0, 50, 32)))
+        root.add_child(ReplicaNode(virtual(50, 100)))
+        expected = root.size_bytes + root.children[0].size_bytes
+        assert tree.storage_bytes == expected
+
+    def test_roots_overlapping(self, tree):
+        assert tree.roots_overlapping(ValueRange(10, 20)) == [tree.roots[0]]
+        assert tree.roots_overlapping(ValueRange(200, 300)) == []
+
+    def test_splice_out_internal_node(self, tree):
+        root = tree.roots[0]
+        child = ReplicaNode(materialized(0, 50, 32))
+        root.add_child(child)
+        root.add_child(ReplicaNode(materialized(50, 100, 32)))
+        child.add_child(ReplicaNode(materialized(0, 25, 16)))
+        child.add_child(ReplicaNode(materialized(25, 50, 16)))
+        tree.splice_out(child)
+        assert len(root.children) == 3
+        assert all(node.parent is root for node in root.children)
+        tree.check_invariants()
+
+    def test_splice_out_root_promotes_children(self, tree):
+        root = tree.roots[0]
+        root.add_child(ReplicaNode(materialized(0, 40, 16)))
+        root.add_child(ReplicaNode(materialized(40, 100, 16)))
+        tree.splice_out(root)
+        assert len(tree.roots) == 2
+        assert [r.vrange.low for r in tree.roots] == [0, 40]
+        tree.check_invariants()
+
+    def test_invariants_detect_gap_in_children(self, tree):
+        root = tree.roots[0]
+        root.add_child(ReplicaNode(materialized(0, 40, 16)))
+        root.add_child(ReplicaNode(materialized(60, 100, 16)))  # gap 40-60
+        with pytest.raises(AssertionError):
+            tree.check_invariants()
+
+    def test_invariants_detect_uncovered_virtual_leaf(self, tree):
+        root = tree.roots[0]
+        root.add_child(ReplicaNode(materialized(0, 50, 16)))
+        root.add_child(ReplicaNode(virtual(50, 100)))
+        root.segment.free()  # root loses its payload: virtual leaf now uncovered
+        with pytest.raises(AssertionError):
+            tree.check_invariants()

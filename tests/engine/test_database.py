@@ -1,0 +1,155 @@
+"""Integration-style unit tests for the database façade."""
+
+import numpy as np
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.result import QueryResult
+from repro.engine.session import Session
+from repro.util.units import KB
+
+
+@pytest.fixture
+def database() -> Database:
+    rng = np.random.default_rng(101)
+    n = 30_000
+    database = Database()
+    database.create_table("p", {"objid": "int64", "ra": "float64", "dec": "float64"})
+    database.bulk_load(
+        "p",
+        {
+            "objid": np.arange(n, dtype=np.int64),
+            "ra": rng.uniform(0, 360, n),
+            "dec": rng.uniform(-90, 90, n),
+        },
+    )
+    return database
+
+
+def brute(database: Database, low: float, high: float) -> np.ndarray:
+    ra = database.catalog.column("p", "ra").bind(0).tail
+    objid = database.catalog.column("p", "objid").bind(0).tail
+    return objid[(ra >= low) & (ra <= high)]
+
+
+class TestSchemaAndLoading:
+    def test_table_names_lowercased(self, database):
+        assert database.table_names() == ["p"]
+        result = database.execute("SELECT OBJID FROM P WHERE RA BETWEEN 10 AND 20")
+        assert isinstance(result, QueryResult)
+
+    def test_drop_table_removes_adaptive_state(self, database):
+        database.enable_adaptive_segmentation("p", "ra")
+        database.drop_table("p")
+        assert database.table_names() == []
+        assert database.bpm.handles() == []
+
+    def test_insert_and_delete_visible_through_sql(self, database):
+        database.insert(
+            "p",
+            {
+                "objid": np.array([10_000_000], dtype=np.int64),
+                "ra": np.array([180.5]),
+                "dec": np.array([0.0]),
+            },
+        )
+        result = database.execute("SELECT objid FROM p WHERE ra BETWEEN 180.49 AND 180.51")
+        assert 10_000_000 in result.column("objid").tolist()
+        existing = brute(database, 10, 11)
+        database.delete("p", existing[:1])
+        result = database.execute("SELECT objid FROM p WHERE ra BETWEEN 10 AND 11")
+        assert existing[0] not in result.column("objid").tolist()
+
+
+class TestQueryExecution:
+    def test_projection_matches_brute_force(self, database):
+        result = database.execute("SELECT objid FROM p WHERE ra BETWEEN 120 AND 125")
+        assert sorted(result.column("objid")) == sorted(brute(database, 120, 125))
+
+    def test_multi_column_projection(self, database):
+        result = database.execute("SELECT objid, dec FROM p WHERE ra BETWEEN 10 AND 12")
+        assert result.column_names == ["objid", "dec"]
+        assert result.row_count == brute(database, 10, 12).size
+
+    def test_aggregate_query(self, database):
+        result = database.execute("SELECT count(*) FROM p WHERE ra BETWEEN 0 AND 180")
+        ra = database.catalog.column("p", "ra").bind(0).tail
+        assert result.scalar("count(*)") == int(((ra >= 0) & (ra <= 180)).sum())
+
+    def test_unknown_column_in_result_lookup(self, database):
+        result = database.execute("SELECT objid FROM p WHERE ra BETWEEN 0 AND 1")
+        with pytest.raises(KeyError):
+            result.column("missing")
+        with pytest.raises(KeyError):
+            result.scalar("count(*)")
+
+    def test_query_history_is_recorded(self, database):
+        database.execute("SELECT objid FROM p WHERE ra BETWEEN 0 AND 1")
+        database.execute("SELECT count(*) FROM p WHERE ra BETWEEN 0 AND 1")
+        assert len(database.query_history) == 2
+        assert database.query_history[0].total_seconds > 0
+
+    def test_explain_returns_plan_text(self, database):
+        plan = database.explain("SELECT objid FROM p WHERE ra BETWEEN 10 AND 20")
+        assert plan.startswith("function user.")
+        assert "algebra.uselect" in plan
+
+
+class TestAdaptiveExecution:
+    def test_results_identical_across_strategies(self, database):
+        plain = database.execute("SELECT objid FROM p WHERE ra BETWEEN 33 AND 37")
+        database.enable_adaptive_segmentation("p", "ra", m_min=2 * KB, m_max=8 * KB)
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            low = float(rng.uniform(0, 350))
+            database.execute(f"SELECT objid FROM p WHERE ra BETWEEN {low} AND {low + 4}")
+        adapted = database.execute("SELECT objid FROM p WHERE ra BETWEEN 33 AND 37")
+        assert sorted(adapted.column("objid")) == sorted(plain.column("objid"))
+
+    def test_adaptation_time_reported(self, database):
+        database.enable_adaptive_segmentation("p", "ra", m_min=2 * KB, m_max=8 * KB)
+        result = database.execute("SELECT objid FROM p WHERE ra BETWEEN 100 AND 200")
+        assert result.adaptation_seconds >= 0.0
+        stats = database.last_adaptive_stats("p", "ra")
+        assert stats is not None and stats.result_count == result.row_count
+
+    def test_replication_through_engine_is_correct(self, database):
+        expected = database.execute("SELECT objid FROM p WHERE ra BETWEEN 250 AND 255")
+        database.enable_adaptive_replication("p", "ra", m_min=2 * KB, m_max=8 * KB)
+        rng = np.random.default_rng(9)
+        for _ in range(20):
+            low = float(rng.uniform(0, 350))
+            database.execute(f"SELECT objid FROM p WHERE ra BETWEEN {low} AND {low + 4}")
+        result = database.execute("SELECT objid FROM p WHERE ra BETWEEN 250 AND 255")
+        assert sorted(result.column("objid")) == sorted(expected.column("objid"))
+
+
+class TestSession:
+    def test_session_tracks_timings_and_results(self, database):
+        session = Session(database)
+        session.execute("SELECT objid FROM p WHERE ra BETWEEN 10 AND 20")
+        session.execute("SELECT count(*) FROM p WHERE ra BETWEEN 10 AND 20")
+        assert session.timings.queries == 2
+        assert session.timings.total_seconds > 0
+        assert session.timings.average_milliseconds > 0
+        assert len(session.results) == 2
+        session.reset_timings()
+        assert session.timings.queries == 0
+
+    def test_format_result_table_and_scalars(self, database):
+        session = Session(database)
+        rows = session.execute("SELECT objid, ra FROM p WHERE ra BETWEEN 10 AND 11")
+        text = session.format_result(rows, limit=3)
+        assert "objid" in text and "ra" in text
+        scalars = session.execute("SELECT count(*) FROM p WHERE ra BETWEEN 10 AND 11")
+        assert "count(*)" in session.format_result(scalars)
+
+    def test_format_empty_result(self, database):
+        session = Session(database)
+        result = session.execute("SELECT objid FROM p WHERE ra BETWEEN 400 AND 500")
+        assert session.format_result(result).startswith("")
+
+    def test_result_to_rows(self, database):
+        result = database.execute("SELECT objid, ra FROM p WHERE ra BETWEEN 10 AND 10.5")
+        rows = result.to_rows(limit=5)
+        assert all(len(row) == 2 for row in rows)

@@ -1,0 +1,104 @@
+"""Unit tests for the built-in MAL module registrations (sql/calc/aggr/bat)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.execution import ExecutionContext
+from repro.mal.modules import default_registry
+from repro.storage.bat import BAT
+from repro.storage.catalog import Catalog
+
+
+@pytest.fixture
+def context() -> ExecutionContext:
+    catalog = Catalog()
+    catalog.create_table("p", {"objid": np.int64, "ra": np.float64})
+    catalog.table("p").bulk_load(
+        {"objid": np.arange(5, dtype=np.int64), "ra": np.array([1.0, 2.0, 3.0, 4.0, 5.0])}
+    )
+    return ExecutionContext(catalog=catalog)
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+class TestSQLModule:
+    def test_bind_levels(self, context, registry):
+        bind = registry.resolve("sql.bind")
+        persistent = bind(context, "sys", "p", "ra", 0)
+        inserts = bind(context, "sys", "p", "ra", 1)
+        assert persistent.count == 5
+        assert inserts.count == 0
+
+    def test_bind_dbat(self, context, registry):
+        context.catalog.table("p").delete(np.array([1]))
+        deletions = registry.resolve("sql.bind_dbat")(context, "sys", "p", 1)
+        assert deletions.count == 1
+
+    def test_result_set_flow(self, context, registry):
+        result_set = registry.resolve("sql.resultSet")(context, 1, 1, None)
+        bat = BAT(np.array([1, 2, 3]))
+        registry.resolve("sql.rsColumn")(context, result_set, "sys.p", "objid", "int64", 0, 0, bat)
+        registry.resolve("sql.exportResult")(context, result_set, "")
+        columns = context.exported_columns()
+        assert columns["objid"].tolist() == [1, 2, 3]
+
+    def test_rs_column_on_unknown_result_set(self, context, registry):
+        with pytest.raises(KeyError):
+            registry.resolve("sql.rsColumn")(context, 42, "t", "c", "int64", 0, 0, BAT(np.array([1])))
+        with pytest.raises(KeyError):
+            registry.resolve("sql.exportResult")(context, 42, "")
+
+    def test_export_value(self, context, registry):
+        registry.resolve("sql.exportValue")(context, "count(*)", 7)
+        assert context.scalars["count(*)"] == 7.0
+
+    def test_no_exported_result_set_yields_empty_columns(self, context, registry):
+        registry.resolve("sql.resultSet")(context, 1, 1, None)
+        assert context.exported_columns() == {}
+
+
+class TestOtherModules:
+    def test_calc(self, context, registry):
+        assert registry.resolve("calc.oid")(context, 3.0) == 3
+        assert registry.resolve("calc.dbl")(context, "2.5") == 2.5
+
+    def test_bat_mirror(self, context, registry):
+        bat = BAT(np.array([5.0, 6.0]), hseqbase=10)
+        mirrored = registry.resolve("bat.mirror")(context, bat)
+        assert mirrored.head.tolist() == mirrored.tail.tolist() == [10, 11]
+
+    def test_aggr_registrations(self, context, registry):
+        bat = BAT(np.array([1.0, 3.0]))
+        assert registry.resolve("aggr.sum")(context, bat) == 4.0
+        assert registry.resolve("aggr.count")(context, bat) == 2
+        assert registry.resolve("aggr.avg")(context, bat) == 2.0
+        assert registry.resolve("aggr.min")(context, bat) == 1.0
+        assert registry.resolve("aggr.max")(context, bat) == 3.0
+
+    def test_algebra_select_flags(self, context, registry):
+        bat = BAT(np.array([1.0, 2.0, 3.0]))
+        select = registry.resolve("algebra.select")
+        assert select(context, bat, 1.0, 2.0).count == 1  # default half-open
+        assert select(context, bat, 1.0, 2.0, True, True).count == 2
+        assert select(context, bat, 1.0, 3.0, False, False).count == 1
+
+    def test_every_figure1_operator_is_registered(self, registry):
+        for callee in (
+            "algebra.select",
+            "algebra.uselect",
+            "algebra.kunion",
+            "algebra.kdifference",
+            "algebra.markT",
+            "algebra.join",
+            "bat.reverse",
+            "calc.oid",
+            "sql.bind",
+            "sql.bind_dbat",
+            "sql.resultSet",
+            "sql.rsColumn",
+            "sql.exportResult",
+        ):
+            assert registry.knows(callee), callee

@@ -1,0 +1,134 @@
+"""Unit tests for the relational operators over BATs."""
+
+import numpy as np
+import pytest
+
+from repro.mal import operators
+from repro.storage.bat import BAT
+
+
+@pytest.fixture
+def ra_bat() -> BAT:
+    return BAT(np.array([10.0, 25.0, 5.0, 40.0, 25.0]), name="ra")
+
+
+class TestSelections:
+    def test_select_half_open_default(self, ra_bat):
+        result = operators.select(ra_bat, 10, 25)
+        assert result.head.tolist() == [0]
+        assert result.tail.tolist() == [10.0]
+
+    def test_select_inclusive_bounds(self, ra_bat):
+        result = operators.select(ra_bat, 10, 25, include_high=True)
+        assert result.head.tolist() == [0, 1, 4]
+
+    def test_select_exclusive_low(self, ra_bat):
+        result = operators.select(ra_bat, 10, 40, include_low=False)
+        assert result.head.tolist() == [1, 4]
+
+    def test_select_respects_hseqbase(self):
+        bat = BAT(np.array([1.0, 2.0, 3.0]), hseqbase=100)
+        result = operators.select(bat, 2, 4, include_high=True)
+        assert result.head.tolist() == [101, 102]
+
+    def test_uselect_candidate_list(self, ra_bat):
+        result = operators.uselect(ra_bat, 20, 30)
+        assert result.head.tolist() == result.tail.tolist() == [1, 4]
+
+    def test_thetaselect(self, ra_bat):
+        assert operators.thetaselect(ra_bat, 25.0, ">").head.tolist() == [3]
+        assert operators.thetaselect(ra_bat, 25.0, "==").head.tolist() == [1, 4]
+        with pytest.raises(ValueError):
+            operators.thetaselect(ra_bat, 25.0, "~")
+
+
+class TestSetOperations:
+    def test_kunion_prefers_left_pairs(self):
+        left = BAT.from_pairs(np.array([0, 1]), np.array([10, 11]))
+        right = BAT.from_pairs(np.array([1, 2]), np.array([99, 12]))
+        merged = operators.kunion(left, right)
+        assert dict(zip(merged.head.tolist(), merged.tail.tolist())) == {0: 10, 1: 11, 2: 12}
+
+    def test_kunion_with_empty_passes_through(self):
+        left = BAT.from_pairs(np.array([0]), np.array([1]))
+        empty = BAT.empty(np.int64)
+        assert operators.kunion(left, empty) is left
+        assert operators.kunion(empty, left) is left
+
+    def test_kdifference(self):
+        left = BAT.from_pairs(np.array([0, 1, 2]), np.array([10, 11, 12]))
+        right = BAT.from_pairs(np.array([1]), np.array([0]))
+        result = operators.kdifference(left, right)
+        assert result.head.tolist() == [0, 2]
+
+    def test_kdifference_with_empty_right_is_identity(self):
+        left = BAT.from_pairs(np.array([0, 1]), np.array([10, 11]))
+        assert operators.kdifference(left, BAT.empty(np.int64)) is left
+
+    def test_kintersect(self):
+        left = BAT.from_pairs(np.array([0, 1, 2]), np.array([10, 11, 12]))
+        right = BAT.from_pairs(np.array([2, 0]), np.array([0, 0]))
+        result = operators.kintersect(left, right)
+        assert result.head.tolist() == [0, 2]
+
+    def test_kintersect_with_empty_is_empty(self):
+        left = BAT.from_pairs(np.array([0, 1]), np.array([10, 11]))
+        assert operators.kintersect(left, BAT.empty(np.int64)).count == 0
+
+
+class TestTupleReconstruction:
+    def test_mark_tail_assigns_dense_numbers(self):
+        candidates = BAT.from_pairs(np.array([7, 3, 9]), np.array([7, 3, 9]))
+        marked = operators.mark_tail(candidates, 0)
+        assert marked.head.tolist() == [7, 3, 9]
+        assert marked.tail.tolist() == [0, 1, 2]
+
+    def test_join_against_void_head(self):
+        positions = BAT.from_pairs(np.array([0, 1]), np.array([3, 1]))  # tail = oids to fetch
+        column = BAT(np.array([100, 101, 102, 103]), hseqbase=0)
+        joined = operators.join(positions, column)
+        assert joined.head.tolist() == [0, 1]
+        assert joined.tail.tolist() == [103, 101]
+
+    def test_join_against_explicit_head(self):
+        positions = BAT.from_pairs(np.array([0, 1]), np.array([9, 5]))
+        column = BAT.from_pairs(np.array([5, 9]), np.array([50.0, 90.0]))
+        joined = operators.join(positions, column)
+        assert joined.tail.tolist() == [90.0, 50.0]
+
+    def test_join_drops_unmatched_keys(self):
+        positions = BAT.from_pairs(np.array([0, 1]), np.array([2, 42]))
+        column = BAT(np.array([10, 11, 12]))
+        joined = operators.join(positions, column)
+        assert joined.head.tolist() == [0]
+        assert joined.tail.tolist() == [12]
+
+    def test_full_reconstruction_pipeline(self):
+        """markT + reverse + join reproduces the Figure-1 tuple reconstruction."""
+        ra = BAT(np.array([205.11, 100.0, 205.115, 300.0]), name="ra")
+        objid = BAT(np.array([1000, 1001, 1002, 1003]), name="objid")
+        candidates = operators.uselect(ra, 205.1, 205.12)
+        marked = operators.mark_tail(candidates, 0)
+        positions = marked.reverse()
+        result = operators.join(positions, objid)
+        assert result.tail.tolist() == [1000, 1002]
+
+
+class TestAggregates:
+    def test_aggregates(self):
+        bat = BAT(np.array([1.0, 2.0, 3.0]))
+        assert operators.aggr_sum(bat) == 6.0
+        assert operators.aggr_count(bat) == 3
+        assert operators.aggr_avg(bat) == pytest.approx(2.0)
+        assert operators.aggr_min(bat) == 1.0
+        assert operators.aggr_max(bat) == 3.0
+
+    def test_aggregates_on_empty_bat(self):
+        empty = BAT.empty(np.float64)
+        assert operators.aggr_sum(empty) == 0.0
+        assert operators.aggr_count(empty) == 0
+        assert operators.aggr_avg(empty) == 0.0
+        with pytest.raises(ValueError):
+            operators.aggr_min(empty)
+        with pytest.raises(ValueError):
+            operators.aggr_max(empty)

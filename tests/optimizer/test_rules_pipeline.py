@@ -1,0 +1,99 @@
+"""Unit tests for the generic optimizer rules and the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.engine.execution import ExecutionContext
+from repro.mal.builder import ProgramBuilder
+from repro.mal.interpreter import Interpreter
+from repro.mal.modules import default_registry
+from repro.mal.program import Const
+from repro.optimizer.pipeline import OptimizerPipeline
+from repro.optimizer.rules import merge_duplicate_binds, remove_dead_code
+from repro.sql.compiler import SQLCompiler
+from repro.sql.parser import parse
+from repro.storage.catalog import Catalog
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.create_table("p", {"objid": np.int64, "ra": np.float64})
+    catalog.table("p").bulk_load(
+        {"objid": np.arange(5, dtype=np.int64), "ra": np.array([1.0, 2.0, 3.0, 4.0, 5.0])}
+    )
+    return catalog
+
+
+class TestRemoveDeadCode:
+    def test_unused_pure_instructions_removed(self):
+        builder = ProgramBuilder("demo")
+        builder.call("calc", "oid", Const(1), target="dead")
+        used = builder.call("calc", "oid", Const(2))
+        builder.effect("sql", "exportValue", Const("x"), builder.var(used))
+        optimized = remove_dead_code(builder.build())
+        assert len(optimized) == 2
+        assert "dead" not in optimized.defined_variables()
+
+    def test_dead_chains_removed_transitively(self):
+        builder = ProgramBuilder("demo")
+        bind = builder.call("sql", "bind", Const("sys"), Const("p"), Const("ra"), Const(0))
+        builder.call("algebra", "uselect", builder.var(bind), Const(1), Const(2), target="dead")
+        optimized = remove_dead_code(builder.build())
+        assert len(optimized) == 0
+
+    def test_effectful_instructions_kept(self):
+        builder = ProgramBuilder("demo")
+        builder.call("sql", "resultSet", Const(1), Const(1), Const(0), target="rs")
+        builder.effect("sql", "exportResult", builder.var("rs"), Const(""))
+        optimized = remove_dead_code(builder.build())
+        assert len(optimized) == 2
+
+
+class TestMergeDuplicateBinds:
+    def test_duplicate_binds_collapse(self, catalog):
+        compiler = SQLCompiler(catalog)
+        program = compiler.compile(parse("SELECT ra FROM p WHERE ra BETWEEN 2 AND 4"))
+        before = len(program.find_calls("sql", "bind"))
+        merged = merge_duplicate_binds(program)
+        after = len(merged.find_calls("sql", "bind"))
+        assert after < before
+        # Exactly one bind per (column, level) should survive: ra has 3 levels.
+        assert after == 3
+
+    def test_merged_plan_still_produces_same_result(self, catalog):
+        compiler = SQLCompiler(catalog)
+        program = compiler.compile(parse("SELECT ra FROM p WHERE ra BETWEEN 2 AND 4"))
+        merged = merge_duplicate_binds(program)
+
+        def run(prog):
+            context = ExecutionContext(catalog=catalog)
+            Interpreter(default_registry()).run(prog, context)
+            return context.exported_columns()["ra"].tolist()
+
+        assert run(program) == run(merged)
+
+
+class TestPipeline:
+    def test_rules_applied_in_order(self):
+        calls = []
+
+        def rule_a(program):
+            calls.append("a")
+            return program
+
+        def rule_b(program):
+            calls.append("b")
+            return program
+
+        pipeline = OptimizerPipeline([rule_a])
+        pipeline.add_rule(rule_b)
+        pipeline.optimize(ProgramBuilder("x").build())
+        assert calls == ["a", "b"]
+
+    def test_add_remove_and_names(self):
+        pipeline = OptimizerPipeline([remove_dead_code])
+        pipeline.add_rule(merge_duplicate_binds, position=0)
+        assert pipeline.rule_names() == ["merge_duplicate_binds", "remove_dead_code"]
+        pipeline.remove_rule(remove_dead_code)
+        assert pipeline.rule_names() == ["merge_duplicate_binds"]

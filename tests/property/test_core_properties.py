@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The central correctness claims of the reproduction:
+
+* whatever the workload, an adaptive column answers every range query exactly
+  like a brute-force scan of the original data;
+* adaptive segmentation always keeps a gap-free partition of the domain that
+  conserves the original multiset of (oid, value) pairs;
+* adaptive replication keeps a structurally valid replica tree in which every
+  query range is coverable by materialized segments;
+* the two segmentation models only ever propose cuts strictly inside the
+  candidate segment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.models import AdaptivePageModel, GaussianDice
+from repro.core.ranges import ValueRange
+from repro.core.replication import ReplicatedColumn
+from repro.core.segment import Segment
+from repro.core.segmentation import SegmentedColumn
+
+DOMAIN = (0.0, 10_000.0)
+
+#: A compact strategy for query streams over the test domain.
+queries_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=9_999.0, allow_nan=False),
+        st.floats(min_value=1.0, max_value=4_000.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+columns_strategy = st.integers(min_value=64, max_value=1500)
+
+models_strategy = st.sampled_from(["apm", "gd"])
+
+
+def _make_column(n_values: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(int(DOMAIN[0]), int(DOMAIN[1]), size=n_values).astype(np.int32)
+
+
+def _make_model(name: str, seed: int):
+    if name == "apm":
+        return AdaptivePageModel(m_min=128, m_max=512)
+    return GaussianDice(seed=seed)
+
+
+def _brute(values: np.ndarray, low: float, high: float) -> int:
+    return int(((values >= low) & (values < high)).sum())
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(n_values=columns_strategy, queries=queries_strategy, model_name=models_strategy,
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_segmentation_matches_brute_force_and_keeps_invariants(n_values, queries, model_name, seed):
+    values = _make_column(n_values, seed)
+    column = SegmentedColumn(values, model=_make_model(model_name, seed), domain=DOMAIN)
+    for start, width in queries:
+        low, high = start, min(start + width, DOMAIN[1])
+        assert column.select(low, high).count == _brute(values, low, high)
+    column.check_invariants()
+    total = sum(int(segment.count) for segment in column.segments)
+    assert total == values.size
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(n_values=columns_strategy, queries=queries_strategy, model_name=models_strategy,
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_replication_matches_brute_force_and_keeps_tree_valid(n_values, queries, model_name, seed):
+    values = _make_column(n_values, seed)
+    column = ReplicatedColumn(values, model=_make_model(model_name, seed), domain=DOMAIN)
+    for start, width in queries:
+        low, high = start, min(start + width, DOMAIN[1])
+        assert column.select(low, high).count == _brute(values, low, high)
+    column.check_invariants()
+    # Storage never drops below the information content of the column.
+    assert column.storage_bytes >= 0
+    # A whole-domain query still returns every value.
+    assert column.select(*DOMAIN).count == values.size
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seg_low=st.floats(min_value=0, max_value=5_000, allow_nan=False),
+    seg_width=st.floats(min_value=10, max_value=5_000, allow_nan=False),
+    q_low=st.floats(min_value=-1_000, max_value=11_000, allow_nan=False),
+    q_width=st.floats(min_value=0.1, max_value=6_000, allow_nan=False),
+    count=st.integers(min_value=1, max_value=5_000),
+    model_name=models_strategy,
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_models_only_cut_strictly_inside_the_segment(
+    seg_low, seg_width, q_low, q_width, count, model_name, seed
+):
+    segment_range = ValueRange(seg_low, seg_low + seg_width)
+    segment = Segment(segment_range, value_width=4, estimated_count=count)
+    query = ValueRange(q_low, q_low + q_width)
+    model = _make_model(model_name, seed)
+    decision = model.decide(query, segment, total_bytes=4 * 100_000)
+    for point in decision.points:
+        assert segment_range.low < point < segment_range.high
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    x=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    sigma=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+)
+def test_gaussian_dice_probability_is_a_probability(x, sigma):
+    probability = GaussianDice.decision_probability(x, sigma)
+    assert 0.0 <= probability <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    points=st.lists(st.floats(min_value=-50, max_value=150, allow_nan=False), max_size=8),
+    low=st.floats(min_value=0, max_value=50, allow_nan=False),
+    width=st.floats(min_value=1, max_value=100, allow_nan=False),
+)
+def test_range_split_always_partitions(points, low, width):
+    vrange = ValueRange(low, low + width)
+    pieces = vrange.split_at(points)
+    assert pieces[0].low == vrange.low
+    assert pieces[-1].high == vrange.high
+    for first, second in zip(pieces, pieces[1:]):
+        assert first.high == second.low
+    assert sum(piece.width for piece in pieces) == pytest.approx(vrange.width, rel=1e-9, abs=1e-9)

@@ -1,0 +1,97 @@
+"""Unit tests for the buffer pool and the disk cost model."""
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskModel
+from repro.util.units import KB, MB
+
+
+class TestBufferPool:
+    def test_fault_then_hit(self):
+        pool = BufferPool(10 * KB)
+        faulted = pool.access("a", 4 * KB)
+        assert faulted == 4 * KB
+        assert pool.access("a", 4 * KB) == 0.0
+        assert pool.stats.page_faults == 1
+        assert pool.stats.page_hits == 1
+        assert pool.stats.hit_ratio == pytest.approx(0.5)
+
+    def test_lru_eviction(self):
+        pool = BufferPool(10 * KB)
+        pool.access("a", 4 * KB)
+        pool.access("b", 4 * KB)
+        pool.access("a", 4 * KB)  # refresh a; b becomes LRU
+        pool.access("c", 4 * KB)  # evicts b
+        assert pool.contains("a")
+        assert not pool.contains("b")
+        assert pool.contains("c")
+        assert pool.stats.evictions == 1
+
+    def test_dirty_eviction_writes_back(self):
+        pool = BufferPool(8 * KB)
+        pool.access("a", 4 * KB, dirty=True)
+        pool.access("b", 4 * KB)
+        pool.access("c", 4 * KB)  # evicts dirty a
+        assert pool.stats.disk_writes_bytes == 4 * KB
+
+    def test_dirty_pages_are_not_read_from_disk(self):
+        pool = BufferPool(8 * KB)
+        pool.access("fresh", 2 * KB, dirty=True)
+        assert pool.stats.disk_reads_bytes == 0.0
+
+    def test_oversized_page_is_never_cached(self):
+        pool = BufferPool(1 * KB)
+        pool.access("huge", 10 * KB)
+        pool.access("huge", 10 * KB)
+        assert not pool.contains("huge")
+        assert pool.stats.page_faults == 2
+        assert pool.stats.disk_reads_bytes == 20 * KB
+
+    def test_invalidate(self):
+        pool = BufferPool(10 * KB)
+        pool.access("a", 4 * KB)
+        pool.invalidate("a")
+        assert not pool.contains("a")
+        assert pool.used_bytes == 0.0
+
+    def test_flush_writes_dirty_pages_once(self):
+        pool = BufferPool(64 * KB)
+        pool.access("a", 4 * KB, dirty=True)
+        pool.access("b", 4 * KB)
+        assert pool.flush() == 4 * KB
+        assert pool.flush() == 0.0
+
+    def test_invalid_capacity_and_size(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)
+        pool = BufferPool(1 * KB)
+        with pytest.raises(ValueError):
+            pool.access("a", -1)
+
+
+class TestDiskModel:
+    def test_disk_seconds_scale_with_bytes_and_seeks(self):
+        model = DiskModel(bandwidth_bytes_per_s=100 * MB, seek_latency_s=0.01)
+        one_seek = model.disk_seconds(100 * MB, 1)
+        two_seeks = model.disk_seconds(100 * MB, 2)
+        assert one_seek == pytest.approx(1.01)
+        assert two_seeks == pytest.approx(1.02)
+
+    def test_memory_faster_than_disk(self):
+        model = DiskModel()
+        assert model.memory_seconds(10 * MB) < model.disk_seconds(10 * MB)
+
+    def test_query_seconds_combines_components(self):
+        model = DiskModel()
+        total = model.query_seconds(1 * MB, 1 * MB, 2 * MB, 0.0, disk_accesses=2)
+        assert total == pytest.approx(
+            model.memory_seconds(2 * MB) + model.disk_seconds(2 * MB, 2)
+        )
+
+    def test_negative_inputs_rejected(self):
+        model = DiskModel()
+        with pytest.raises(ValueError):
+            model.disk_seconds(-1)
+        with pytest.raises(ValueError):
+            model.memory_seconds(-1)

@@ -1,0 +1,143 @@
+"""Unit tests for stored columns, column stores and the catalog."""
+
+import numpy as np
+import pytest
+
+from repro.storage.catalog import Catalog, TableSchema
+from repro.storage.column import ColumnStore, StoredColumn
+
+
+class TestStoredColumn:
+    def test_bind_levels(self):
+        column = StoredColumn("p", "ra", np.float64)
+        column.bulk_load(np.array([1.0, 2.0, 3.0]))
+        assert column.bind(0).count == 3
+        assert column.bind(1).count == 0
+        assert column.bind(2).count == 0
+        with pytest.raises(ValueError):
+            column.bind(3)
+
+    def test_append_goes_to_insert_delta(self):
+        column = StoredColumn("p", "ra", np.float64)
+        column.bulk_load(np.array([1.0, 2.0]))
+        column.append(np.array([3.0]), start_oid=2)
+        assert column.bind(0).count == 2
+        assert column.bind(1).count == 1
+        assert column.bind(1).head.tolist() == [2]
+
+    def test_update_delta_and_merge(self):
+        column = StoredColumn("p", "ra", np.float64)
+        column.bulk_load(np.array([1.0, 2.0, 3.0]))
+        column.update(np.array([1]), np.array([20.0]))
+        merged = column.merge_deltas()
+        assert merged.tolist() == [1.0, 20.0, 3.0]
+
+    def test_update_length_mismatch_rejected(self):
+        column = StoredColumn("p", "ra", np.float64)
+        with pytest.raises(ValueError):
+            column.update(np.array([1, 2]), np.array([1.0]))
+
+    def test_size_bytes_counts_all_pieces(self):
+        column = StoredColumn("p", "ra", np.float32)
+        column.bulk_load(np.zeros(10, dtype=np.float32))
+        assert column.size_bytes >= 40
+
+
+class TestColumnStore:
+    def _store(self) -> ColumnStore:
+        store = ColumnStore("p")
+        store.add_column("objid", np.int64)
+        store.add_column("ra", np.float64)
+        store.bulk_load({"objid": np.arange(4), "ra": np.array([1.0, 2.0, 3.0, 4.0])})
+        return store
+
+    def test_bulk_load_and_row_count(self):
+        store = self._store()
+        assert store.row_count == 4
+
+    def test_duplicate_column_rejected(self):
+        store = ColumnStore("p")
+        store.add_column("ra", np.float64)
+        with pytest.raises(ValueError):
+            store.add_column("ra", np.float64)
+
+    def test_unknown_column_lookup(self):
+        with pytest.raises(KeyError):
+            self._store().column("dec")
+
+    def test_bulk_load_validates_shape(self):
+        store = ColumnStore("p")
+        store.add_column("a", np.int32)
+        store.add_column("b", np.int32)
+        with pytest.raises(ValueError):
+            store.bulk_load({"a": np.arange(3), "b": np.arange(2)})
+        with pytest.raises(ValueError):
+            store.bulk_load({"a": np.arange(3)})
+        with pytest.raises(ValueError):
+            store.bulk_load({"a": np.arange(3), "b": np.arange(3), "c": np.arange(3)})
+
+    def test_insert_appends_rows(self):
+        store = self._store()
+        store.insert({"objid": np.array([100]), "ra": np.array([9.0])})
+        assert store.row_count == 5
+        assert store.column("ra").bind(1).count == 1
+
+    def test_delete_marks_oids(self):
+        store = self._store()
+        store.delete(np.array([0, 2]))
+        assert store.row_count == 2
+        assert store.deletion_bat.count == 2
+
+
+class TestCatalog:
+    def test_create_and_lookup(self):
+        catalog = Catalog()
+        schema = catalog.create_table("p", {"objid": np.int64, "ra": np.float64})
+        assert schema.column_names == ("objid", "ra")
+        assert catalog.table_names == ["p"]
+        assert catalog.schema("p").dtype_of("ra") == np.dtype(np.float64)
+        assert isinstance(catalog.column("p", "ra"), StoredColumn)
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.create_table("p", {"ra": np.float64})
+        with pytest.raises(ValueError):
+            catalog.create_table("p", {"ra": np.float64})
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            Catalog().create_table("p", {})
+
+    def test_unknown_lookups(self):
+        catalog = Catalog()
+        with pytest.raises(KeyError):
+            catalog.table("missing")
+        with pytest.raises(KeyError):
+            catalog.schema("missing")
+
+    def test_drop_table_clears_adaptive_registrations(self):
+        catalog = Catalog()
+        catalog.create_table("p", {"ra": np.float64})
+        catalog.register_adaptive("p", "ra", "segmentation")
+        assert catalog.is_adaptive("p", "ra")
+        catalog.drop_table("p")
+        assert not catalog.is_adaptive("p", "ra")
+        assert catalog.table_names == []
+
+    def test_adaptive_registration_validation(self):
+        catalog = Catalog()
+        catalog.create_table("p", {"ra": np.float64})
+        with pytest.raises(KeyError):
+            catalog.register_adaptive("p", "dec", "segmentation")
+        with pytest.raises(ValueError):
+            catalog.register_adaptive("p", "ra", "btree")
+        catalog.register_adaptive("p", "ra", "replication")
+        assert catalog.adaptive_strategy("p", "ra") == "replication"
+        catalog.unregister_adaptive("p", "ra")
+        assert catalog.adaptive_strategy("p", "ra") is None
+
+    def test_table_schema_of_helper(self):
+        schema = TableSchema.of("t", {"a": "int32", "b": np.float64})
+        assert schema.dtype_of("a") == np.dtype("int32")
+        with pytest.raises(KeyError):
+            schema.dtype_of("c")

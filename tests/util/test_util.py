@@ -1,0 +1,120 @@
+"""Unit tests for the util package (units, rng, stats, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import DEFAULT_SEED, make_rng, spawn_rngs
+from repro.util.stats import cumulative_sum, descriptive_stats, moving_average, zipf_probabilities
+from repro.util.units import GB, KB, MB, format_bytes, parse_bytes
+from repro.util.validation import ensure_in_range, ensure_positive, ensure_type
+
+
+class TestUnits:
+    def test_constants(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512B"
+        assert format_bytes(3 * KB) == "3.0KB"
+        assert format_bytes(2.5 * MB) == "2.5MB"
+        assert format_bytes(1 * GB) == "1.0GB"
+
+    def test_format_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+    def test_parse_bytes(self):
+        assert parse_bytes("3KB") == 3 * KB
+        assert parse_bytes(" 25 mb ") == 25 * MB
+        assert parse_bytes("1024") == 1024
+        assert parse_bytes("100B") == 100
+
+    def test_parse_round_trips_format(self):
+        for value in (512, 3 * KB, 25 * MB, 2 * GB):
+            assert parse_bytes(format_bytes(value)) == value
+
+    def test_parse_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bytes("  ")
+
+
+class TestRNG:
+    def test_default_seed_is_deterministic(self):
+        assert make_rng().random() == make_rng(DEFAULT_SEED).random()
+
+    def test_explicit_seed_changes_stream(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_spawn_independent_streams(self):
+        streams = spawn_rngs(3, seed=5)
+        draws = [rng.random() for rng in streams]
+        assert len(set(draws)) == 3
+        again = [rng.random() for rng in spawn_rngs(3, seed=5)]
+        assert draws == again
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(-1)
+
+
+class TestStats:
+    def test_moving_average_window(self):
+        result = moving_average([1, 2, 3, 4], window=2)
+        assert result.tolist() == [1.0, 1.5, 2.5, 3.5]
+
+    def test_moving_average_head_shrinks(self):
+        result = moving_average([4, 8, 12], window=10)
+        assert result.tolist() == [4.0, 6.0, 8.0]
+
+    def test_moving_average_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], window=0)
+
+    def test_moving_average_empty(self):
+        assert moving_average([], window=3).size == 0
+
+    def test_cumulative_sum(self):
+        assert cumulative_sum([1, 2, 3]).tolist() == [1.0, 3.0, 6.0]
+
+    def test_zipf_probabilities_normalised_and_decreasing(self):
+        probabilities = zipf_probabilities(100, exponent=1.0)
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(probabilities) <= 0)
+
+    def test_zipf_zero_exponent_is_uniform(self):
+        probabilities = zipf_probabilities(10, exponent=0.0)
+        assert np.allclose(probabilities, 0.1)
+
+    def test_zipf_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0)
+        with pytest.raises(ValueError):
+            zipf_probabilities(10, exponent=-1)
+
+    def test_descriptive_stats(self):
+        summary = descriptive_stats([1.0, 2.0, 3.0])
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(2.0)
+        assert descriptive_stats([])["count"] == 0
+
+
+class TestValidation:
+    def test_ensure_positive(self):
+        assert ensure_positive("x", 5) == 5
+        with pytest.raises(ValueError):
+            ensure_positive("x", 0)
+        assert ensure_positive("x", 0, allow_zero=True) == 0
+        with pytest.raises(ValueError):
+            ensure_positive("x", -1, allow_zero=True)
+
+    def test_ensure_in_range(self):
+        assert ensure_in_range("x", 0.5, 0, 1) == 0.5
+        with pytest.raises(ValueError):
+            ensure_in_range("x", 2, 0, 1)
+
+    def test_ensure_type(self):
+        assert ensure_type("x", 5, int) == 5
+        with pytest.raises(TypeError):
+            ensure_type("x", "five", (int, float))

@@ -1,0 +1,69 @@
+"""Unit tests for workload save/replay (CSV round-trips)."""
+
+import pytest
+
+from repro.workloads.generators import uniform_workload
+from repro.workloads.query import Workload, queries_from_pairs
+from repro.workloads.replay import load_workload, save_workload
+
+
+class TestRoundTrip:
+    def test_save_and_load_preserves_queries(self, tmp_path):
+        original = uniform_workload(50, (0, 1_000_000), 0.05, seed=3)
+        path = save_workload(original, tmp_path / "trace.csv")
+        replayed = load_workload(path)
+        assert len(replayed) == len(original)
+        assert [(q.low, q.high) for q in replayed] == [(q.low, q.high) for q in original]
+
+    def test_load_derives_domain_from_queries(self, tmp_path):
+        workload = Workload("w", queries_from_pairs([(10, 20), (50, 90)]), domain=(0, 100))
+        path = save_workload(workload, tmp_path / "w.csv")
+        replayed = load_workload(path)
+        assert replayed.domain == (10.0, 90.0)
+
+    def test_explicit_domain_and_name(self, tmp_path):
+        workload = Workload("w", queries_from_pairs([(10, 20)]), domain=(0, 100))
+        path = save_workload(workload, tmp_path / "w.csv")
+        replayed = load_workload(path, name="custom", domain=(0, 100))
+        assert replayed.name == "custom"
+        assert replayed.domain == (0, 100)
+
+    def test_headerless_file_is_accepted(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("1.5,2.5\n3.0,4.0\n", encoding="utf-8")
+        replayed = load_workload(path)
+        assert len(replayed) == 2
+        assert replayed[0].low == 1.5
+
+    def test_blank_lines_are_ignored(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("low,high\n1,2\n\n3,4\n", encoding="utf-8")
+        assert len(load_workload(path)) == 2
+
+
+class TestErrors:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_workload(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("low,high\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_workload(path)
+
+    def test_replayed_workload_drives_an_adaptive_column(self, tmp_path):
+        from repro.core.models import AdaptivePageModel
+        from repro.core.segmentation import SegmentedColumn
+        from repro.workloads.generators import make_column
+
+        values = make_column(5_000, 100_000, seed=9)
+        workload = uniform_workload(30, (0, 100_000), 0.05, seed=9)
+        path = save_workload(workload, tmp_path / "trace.csv")
+        replayed = load_workload(path, domain=(0, 100_000))
+        column = SegmentedColumn(values, model=AdaptivePageModel(512, 2048), domain=(0, 100_000))
+        for query in replayed:
+            expected = int(((values >= query.low) & (values < query.high)).sum())
+            assert column.select(query.low, query.high).count == expected
