@@ -36,8 +36,9 @@ def main() -> None:
     database.bulk_load(
         "p", {"objid": np.arange(dataset.ra.size, dtype=np.int64), "ra": dataset.ra}
     )
-    database.enable_adaptive_segmentation(
-        "p", "ra", model="apm", m_min=dataset.m_min, m_max=dataset.m_max_small
+    database.enable_adaptive(
+        "p", "ra", strategy="segmentation", model="apm",
+        m_min=dataset.m_min, m_max=dataset.m_max_small,
     )
 
     workload = skyserver_workload("changing", n_queries=200, seed=5)

@@ -43,8 +43,9 @@ def main() -> None:
 
     # Hand the column to the BPM: from now on the segment optimizer rewrites
     # every selection on p.ra into a segment-aware iterator block.
-    database.enable_adaptive_segmentation(
-        "p", "ra", model="apm", m_min=dataset.m_min, m_max=dataset.m_max_large
+    database.enable_adaptive(
+        "p", "ra", strategy="segmentation", model="apm",
+        m_min=dataset.m_min, m_max=dataset.m_max_large,
     )
     print("\n--- plan with adaptive segmentation (cf. paper section 3.1) ---")
     print(database.explain(example_query))

@@ -32,7 +32,10 @@ from repro.core import (
     SelectionResult,
     UnsegmentedColumn,
     ValueRange,
+    available_strategies,
+    create_strategy,
     model_from_name,
+    register_strategy,
     segment_statistics,
 )
 
@@ -50,7 +53,10 @@ __all__ = [
     "SelectionResult",
     "UnsegmentedColumn",
     "ValueRange",
+    "available_strategies",
+    "create_strategy",
     "model_from_name",
+    "register_strategy",
     "segment_statistics",
     "__version__",
 ]

@@ -223,16 +223,12 @@ def skyserver_engine_run(
     configuration = schemes[scheme]
 
     if configuration["strategy"] is not None:
-        enable = (
-            database.enable_adaptive_replication
-            if replication
-            else database.enable_adaptive_segmentation
-        )
+        strategy = "replication" if replication else configuration["strategy"]
         kwargs = {"model": configuration["model"], "seed": DEFAULT_SEED}
         if "m_min" in configuration:
             kwargs["m_min"] = configuration["m_min"]
             kwargs["m_max"] = configuration["m_max"]
-        enable("p", "ra", **kwargs)
+        database.enable_adaptive("p", "ra", strategy=strategy, **kwargs)
 
     workload = skyserver_workload(workload_kind, queries, seed=DEFAULT_SEED)
     run = EngineRunResult(scheme=scheme, workload=workload.name, column_bytes=column_bytes)

@@ -35,6 +35,15 @@ from repro.core.replication import ReplicatedColumn
 from repro.core.segment import Segment, SelectionResult
 from repro.core.segmentation import SegmentedColumn
 from repro.core.statistics import SegmentStatistics, segment_statistics
+from repro.core.strategy import (
+    AdaptiveColumnBase,
+    AdaptiveColumnStrategy,
+    available_strategies,
+    create_strategy,
+    register_strategy,
+    strategy_class,
+    unregister_strategy,
+)
 
 __all__ = [
     "IOAccountant",
@@ -62,4 +71,11 @@ __all__ = [
     "SegmentedColumn",
     "SegmentStatistics",
     "segment_statistics",
+    "AdaptiveColumnBase",
+    "AdaptiveColumnStrategy",
+    "available_strategies",
+    "create_strategy",
+    "register_strategy",
+    "strategy_class",
+    "unregister_strategy",
 ]

@@ -16,12 +16,16 @@ import numpy as np
 from repro.core.accounting import IOAccountant, QueryLog, QueryStats
 from repro.core.ranges import ValueRange, domain_of
 from repro.core.segment import SelectionResult, Segment
+from repro.core.strategy import AdaptiveColumnBase, register_strategy
 
 
-class UnsegmentedColumn:
+@register_strategy
+class UnsegmentedColumn(AdaptiveColumnBase):
     """A column stored as one positional array; selections always full-scan."""
 
     strategy_name = "unsegmented"
+    requires_model = False
+    display_short = "NoSegm"
 
     def __init__(
         self,

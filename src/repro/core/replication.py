@@ -28,9 +28,11 @@ from repro.core.models import SegmentationModel, SplitAction
 from repro.core.ranges import ValueRange, domain_of
 from repro.core.replica_tree import ReplicaNode, ReplicaTree
 from repro.core.segment import SelectionResult, Segment
+from repro.core.strategy import AdaptiveColumnBase, register_strategy
 
 
-class ReplicatedColumn:
+@register_strategy
+class ReplicatedColumn(AdaptiveColumnBase):
     """A column augmented with a workload-driven replica tree.
 
     Parameters mirror :class:`repro.core.segmentation.SegmentedColumn`; the
@@ -40,6 +42,8 @@ class ReplicatedColumn:
     """
 
     strategy_name = "replication"
+    requires_model = True
+    display_short = "Repl"
 
     def __init__(
         self,

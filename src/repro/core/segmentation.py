@@ -21,9 +21,11 @@ from repro.core.meta_index import SegmentMetaIndex
 from repro.core.models import SegmentationModel
 from repro.core.ranges import ValueRange, domain_of
 from repro.core.segment import SelectionResult, Segment
+from repro.core.strategy import AdaptiveColumnBase, register_strategy
 
 
-class SegmentedColumn:
+@register_strategy
+class SegmentedColumn(AdaptiveColumnBase):
     """A column organised as value-ranged segments that adapt to the workload.
 
     Parameters
@@ -46,6 +48,8 @@ class SegmentedColumn:
     """
 
     strategy_name = "segmentation"
+    requires_model = True
+    display_short = "Segm"
 
     def __init__(
         self,

@@ -1,0 +1,218 @@
+"""The pluggable adaptive-strategy layer.
+
+The paper's central claim is that *multiple* self-organizing strategies —
+the non-segmented baseline, adaptive segmentation (§4) and adaptive
+replication (§5) — can coexist behind a single column-store interface.  This
+module makes that claim structural: every strategy is a class implementing the
+:class:`AdaptiveColumnStrategy` surface and registering itself under its
+``strategy_name``.  The BPM, the simulator, the grid runner and the SQL engine
+all resolve strategies through the registry, so adding a new strategy (hybrid
+segmentation+replication, sharded columns, ...) is one file that calls
+:func:`register_strategy` — no dispatch chain anywhere needs editing.
+
+Public surface:
+
+* :class:`AdaptiveColumnStrategy` — the runtime-checkable protocol.
+* :class:`AdaptiveColumnBase` — mixin providing ``stats``/``adapt``/
+  ``describe``/``paper_label`` on top of a concrete ``select``.
+* :func:`register_strategy` / :func:`unregister_strategy` — registry admin.
+* :func:`strategy_class` / :func:`available_strategies` — lookup.
+* :func:`create_strategy` — the factory every layer builds columns through.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, ClassVar, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.accounting import QueryLog, QueryStats
+from repro.core.ranges import ValueRange
+from repro.core.segment import SelectionResult
+
+
+@runtime_checkable
+class AdaptiveColumnStrategy(Protocol):
+    """What every self-organizing column strategy exposes.
+
+    The three built-ins (:class:`~repro.core.baseline.UnsegmentedColumn`,
+    :class:`~repro.core.segmentation.SegmentedColumn`,
+    :class:`~repro.core.replication.ReplicatedColumn`) implement this surface;
+    so must any plugged-in strategy.
+    """
+
+    strategy_name: ClassVar[str]
+    requires_model: ClassVar[bool]
+    domain: ValueRange
+    history: QueryLog | None
+    total_bytes: float
+
+    @property
+    def storage_bytes(self) -> float: ...
+
+    @property
+    def segment_count(self) -> int: ...
+
+    def select(self, low: float, high: float) -> SelectionResult: ...
+
+    def stats(self) -> QueryStats | None: ...
+
+    def adapt(self, low: float, high: float) -> QueryStats | None: ...
+
+    def describe(self) -> dict[str, Any]: ...
+
+    def check_invariants(self) -> None: ...
+
+
+class AdaptiveColumnBase:
+    """Shared strategy surface on top of a concrete ``select`` implementation.
+
+    Subclasses set :attr:`strategy_name` (the registry key),
+    :attr:`requires_model` (whether construction needs a segmentation model)
+    and :attr:`display_short` (the label fragment used in the paper's plots).
+    """
+
+    #: Registry key; empty means "abstract, do not register".
+    strategy_name: ClassVar[str] = ""
+    #: Whether :func:`create_strategy` must be given a segmentation model.
+    requires_model: ClassVar[bool] = True
+    #: Label fragment in the paper's style ("Segm", "Repl", "NoSegm").
+    display_short: ClassVar[str] = ""
+
+    # Concrete subclasses provide these (declared for type checkers only).
+    history: QueryLog | None
+    domain: ValueRange
+    total_bytes: float
+
+    @classmethod
+    def paper_label(cls, model_name: str | None = None) -> str:
+        """The paper-style run label, e.g. ``"APM Segm"`` or ``"NoSegm"``."""
+        if not cls.requires_model or not model_name:
+            return cls.display_short
+        return f"{model_name.upper()} {cls.display_short}"
+
+    def stats(self) -> QueryStats | None:
+        """Per-query stats of the most recent selection (``None`` if nothing ran)."""
+        history = self.history
+        if history is None or len(history) == 0:
+            return None
+        return history[-1]
+
+    def adapt(self, low: float, high: float) -> QueryStats | None:
+        """Run one selection purely for its adaptation side effect.
+
+        Adaptation is piggy-backed on selections in every strategy, so an
+        explicit adaptation pass is a selection whose payload is discarded.
+        Returns the stats of that selection.
+        """
+        self.select(low, high)
+        return self.stats()
+
+    def describe(self) -> dict[str, Any]:
+        """A structured snapshot of the strategy's current state."""
+        history = self.history
+        return {
+            "strategy": self.strategy_name,
+            "segment_count": self.segment_count,  # type: ignore[attr-defined]
+            "storage_bytes": float(self.storage_bytes),  # type: ignore[attr-defined]
+            "total_bytes": float(self.total_bytes),
+            "domain": (self.domain.low, self.domain.high),
+            "queries_executed": len(history) if history is not None else 0,
+        }
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, type] = {}
+_BUILTINS_LOADED = False
+
+
+def register_strategy(cls: type) -> type:
+    """Class decorator registering a strategy under its ``strategy_name``.
+
+    Names are normalized (lowercased, stripped) so registration and lookup
+    agree.  Re-registering the same class is a no-op; registering a
+    *different* class under a taken name raises, so plugins cannot silently
+    shadow built-ins.
+    """
+    name = str(getattr(cls, "strategy_name", "")).strip().lower()
+    if not name:
+        raise ValueError(f"{cls.__qualname__} must define a non-empty strategy_name")
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"strategy {name!r} is already registered by {existing.__qualname__}"
+        )
+    _REGISTRY[name] = cls
+    return cls
+
+
+def unregister_strategy(name: str) -> None:
+    """Remove a strategy from the registry (used by tests and plugins)."""
+    _REGISTRY.pop(name.strip().lower(), None)
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in strategy modules so they self-register."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    from repro.core import baseline, replication, segmentation  # noqa: F401
+
+
+def available_strategies() -> tuple[str, ...]:
+    """The registered strategy names, sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def strategy_class(name: str) -> type:
+    """Look up a strategy class by name (case- and whitespace-insensitive)."""
+    _ensure_builtins()
+    key = str(name).strip().lower()
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; expected one of {sorted(_REGISTRY)}"
+        ) from None
+
+
+def create_strategy(
+    name: str,
+    values: np.ndarray,
+    *,
+    model: Any | None = None,
+    strict: bool = True,
+    **options: Any,
+) -> AdaptiveColumnStrategy:
+    """Instantiate the strategy ``name`` over ``values``.
+
+    ``model`` is forwarded only to strategies that declare
+    ``requires_model=True`` (and is then mandatory).  Remaining keyword
+    options are forwarded when the strategy's constructor accepts them;
+    ``None``-valued unknown options are always dropped so callers can pass a
+    uniform option set for every strategy (e.g. ``storage_budget=None``).
+    With ``strict=True`` (the default) a non-``None`` option the constructor
+    does not know is an error; ``strict=False`` drops it instead, which is
+    what legacy callers passing one option set to every strategy expect.
+    """
+    cls = strategy_class(name)
+    parameters = inspect.signature(cls.__init__).parameters
+    kwargs: dict[str, Any] = {}
+    if cls.requires_model:
+        if model is None:
+            raise ValueError(f"strategy {cls.strategy_name!r} requires a segmentation model")
+        kwargs["model"] = model
+    for key, value in options.items():
+        if key in parameters:
+            kwargs[key] = value
+        elif strict and value is not None:
+            raise TypeError(
+                f"strategy {cls.strategy_name!r} does not accept option {key!r}"
+            )
+    return cls(values, **kwargs)

@@ -10,7 +10,16 @@ SQL front-end".
 
 from repro.engine.database import Database
 from repro.engine.execution import ExecutionContext
+from repro.engine.plan_cache import PlanCache, PlanCacheStats, normalize_sql
 from repro.engine.result import QueryResult
 from repro.engine.session import Session
 
-__all__ = ["Database", "ExecutionContext", "QueryResult", "Session"]
+__all__ = [
+    "Database",
+    "ExecutionContext",
+    "PlanCache",
+    "PlanCacheStats",
+    "QueryResult",
+    "Session",
+    "normalize_sql",
+]

@@ -3,13 +3,15 @@
 from __future__ import annotations
 
 import time
-from typing import Any
+import warnings
+from typing import Any, Sequence
 
 import numpy as np
 
 from repro.core.accounting import QueryStats
 from repro.core.models import SegmentationModel, model_from_name
 from repro.engine.execution import ExecutionContext
+from repro.engine.plan_cache import PlanCache, normalize_sql
 from repro.engine.result import QueryResult
 from repro.mal.interpreter import Interpreter
 from repro.mal.modules import default_registry
@@ -18,6 +20,7 @@ from repro.optimizer.bpm import AdaptiveColumnHandle, BatPartitionManager
 from repro.optimizer.pipeline import OptimizerPipeline
 from repro.optimizer.rules import merge_duplicate_binds, remove_dead_code
 from repro.optimizer.segment_optimizer import SegmentOptimizer
+from repro.sql.ast import ComparisonPredicate, SelectStatement
 from repro.sql.compiler import SQLCompiler
 from repro.sql.parser import parse
 from repro.storage.catalog import Catalog
@@ -32,12 +35,16 @@ class Database:
         db = Database()
         db.create_table("p", {"objid": "int64", "ra": "float64"})
         db.bulk_load("p", {"objid": objids, "ra": ra_values})
-        db.enable_adaptive_segmentation("p", "ra", model="apm",
-                                        m_min=1 * MB, m_max=5 * MB)
+        db.enable_adaptive("p", "ra", strategy="segmentation", model="apm",
+                           m_min=1 * MB, m_max=5 * MB)
         result = db.execute("SELECT objid FROM p WHERE ra BETWEEN 205.1 AND 205.12")
+
+    Optimized plans are memoized in an LRU plan cache keyed by normalized SQL
+    (parse/compile/optimize are skipped on a hit); ``execute_many`` batches
+    same-column range selections into one shared scan.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, plan_cache_size: int = 128) -> None:
         self.catalog = Catalog()
         self.bpm = BatPartitionManager(self.catalog)
         self.registry = default_registry()
@@ -48,6 +55,7 @@ class Database:
             [merge_duplicate_binds, self.segment_optimizer, remove_dead_code]
         )
         self.interpreter = Interpreter(self.registry)
+        self.plan_cache = PlanCache(plan_cache_size)
         self.query_history: list[QueryResult] = []
 
     # -- schema and data -----------------------------------------------------
@@ -55,6 +63,7 @@ class Database:
     def create_table(self, name: str, columns: dict[str, Any]) -> None:
         """Create a table from a ``{column: dtype}`` mapping."""
         self.catalog.create_table(name.lower(), {col.lower(): dtype for col, dtype in columns.items()})
+        self.plan_cache.clear()
 
     def drop_table(self, name: str) -> None:
         """Drop a table and any adaptive state attached to its columns."""
@@ -63,6 +72,7 @@ class Database:
             if handle.table == name:
                 self.bpm.disable(handle.table, handle.column)
         self.catalog.drop_table(name)
+        self.plan_cache.clear()
 
     def bulk_load(self, table: str, data: dict[str, np.ndarray]) -> None:
         """Load aligned arrays into a freshly created table."""
@@ -86,6 +96,42 @@ class Database:
 
     # -- adaptive indexing administration ------------------------------------------
 
+    def enable_adaptive(
+        self,
+        table: str,
+        column: str,
+        *,
+        strategy: str = "segmentation",
+        model: str | SegmentationModel | None = "apm",
+        m_min: float = 3 * KB,
+        m_max: float = 12 * KB,
+        seed: int | None = None,
+        **options: Any,
+    ) -> AdaptiveColumnHandle:
+        """Hand a column to the BPM using any registered adaptive strategy.
+
+        ``strategy`` is resolved through the registry in
+        :mod:`repro.core.strategy` — built-ins are ``"segmentation"``,
+        ``"replication"`` and ``"unsegmented"``; plugged-in strategies are
+        available here with no engine changes.  Extra keyword options (e.g.
+        ``storage_budget`` for replication) are forwarded to the strategy
+        constructor when it accepts them.
+        """
+        table = table.lower()
+        column = column.lower()
+        stored = self.catalog.column(table, column)
+        values = stored.merge_deltas()
+        if values.size == 0:
+            raise ValueError(
+                f"cannot enable adaptive organisation on empty column {table}.{column}"
+            )
+        if isinstance(model, str):
+            model = model_from_name(model, m_min=m_min, m_max=m_max, seed=seed)
+        handle = self.bpm.enable(table, column, strategy=strategy, model=model,
+                                 values=values, **options)
+        self.plan_cache.clear()
+        return handle
+
     def enable_adaptive_segmentation(
         self,
         table: str,
@@ -96,8 +142,17 @@ class Database:
         m_max: float = 12 * KB,
         seed: int | None = None,
     ) -> AdaptiveColumnHandle:
-        """Hand a column to the BPM for in-place adaptive segmentation."""
-        return self._enable(table, column, "segmentation", model, m_min, m_max, seed, None)
+        """Deprecated: use ``enable_adaptive(..., strategy="segmentation")``."""
+        warnings.warn(
+            "enable_adaptive_segmentation is deprecated; "
+            "use enable_adaptive(table, column, strategy='segmentation')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.enable_adaptive(
+            table, column, strategy="segmentation",
+            model=model, m_min=m_min, m_max=m_max, seed=seed,
+        )
 
     def enable_adaptive_replication(
         self,
@@ -110,42 +165,27 @@ class Database:
         seed: int | None = None,
         storage_budget: float | None = None,
     ) -> AdaptiveColumnHandle:
-        """Hand a column to the BPM for adaptive replication."""
-        return self._enable(
-            table, column, "replication", model, m_min, m_max, seed, storage_budget
+        """Deprecated: use ``enable_adaptive(..., strategy="replication")``."""
+        warnings.warn(
+            "enable_adaptive_replication is deprecated; "
+            "use enable_adaptive(table, column, strategy='replication')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.enable_adaptive(
+            table, column, strategy="replication",
+            model=model, m_min=m_min, m_max=m_max, seed=seed,
+            storage_budget=storage_budget,
         )
 
     def disable_adaptive(self, table: str, column: str) -> None:
         """Return a column to plain positional organisation."""
         self.bpm.disable(table.lower(), column.lower())
+        self.plan_cache.clear()
 
     def adaptive_handle(self, table: str, column: str) -> AdaptiveColumnHandle:
         """The BPM handle of an adaptive column (for inspection)."""
         return self.bpm.handle(table.lower(), column.lower())
-
-    def _enable(
-        self,
-        table: str,
-        column: str,
-        strategy: str,
-        model: str | SegmentationModel,
-        m_min: float,
-        m_max: float,
-        seed: int | None,
-        storage_budget: float | None,
-    ) -> AdaptiveColumnHandle:
-        table = table.lower()
-        column = column.lower()
-        stored = self.catalog.column(table, column)
-        values = stored.merge_deltas()
-        if values.size == 0:
-            raise ValueError(
-                f"cannot enable adaptive organisation on empty column {table}.{column}"
-            )
-        if isinstance(model, str):
-            model = model_from_name(model, m_min=m_min, m_max=m_max, seed=seed)
-        return self.bpm.enable(table, column, strategy=strategy, model=model, values=values,
-                               storage_budget=storage_budget)
 
     # -- query execution ----------------------------------------------------------------
 
@@ -157,12 +197,26 @@ class Database:
         """The optimized MAL plan in concrete syntax (like ``EXPLAIN``)."""
         return self.optimizer.optimize(self.compile(sql)).render()
 
+    def _plan_for(self, sql: str) -> tuple[MALProgram, bool]:
+        """The optimized plan for ``sql``: cached when possible.
+
+        Returns ``(plan, cache_hit)``.  Plans are safe to re-run: per-query
+        state lives in the :class:`ExecutionContext`, and the cache is cleared
+        whenever the schema or an adaptive registration changes.
+        """
+        key = normalize_sql(sql)
+        plan = self.plan_cache.get(key)
+        if plan is not None:
+            return plan, True
+        plan = self.optimizer.optimize(self.compile(sql))
+        self.plan_cache.put(key, plan)
+        return plan, False
+
     def execute(self, sql: str) -> QueryResult:
-        """Parse, compile, optimize and run a query."""
+        """Parse, compile, optimize (or fetch the cached plan) and run a query."""
         total_started = time.perf_counter()
-        program = self.compile(sql)
         optimizer_started = time.perf_counter()
-        optimized = self.optimizer.optimize(program)
+        optimized, cache_hit = self._plan_for(sql)
         optimizer_seconds = time.perf_counter() - optimizer_started
 
         context = ExecutionContext(catalog=self.catalog)
@@ -179,9 +233,200 @@ class Database:
             selection_seconds=selection_seconds,
             adaptation_seconds=adaptation_seconds,
             optimizer_seconds=optimizer_seconds,
+            plan_cache_hit=cache_hit,
+            plan_cache_hits=self.plan_cache.hits,
+            plan_cache_misses=self.plan_cache.misses,
         )
         self.query_history.append(result)
         return result
+
+    # -- batched execution ---------------------------------------------------------------
+
+    def execute_many(self, statements: Sequence[str], *, batch: bool = True) -> list[QueryResult]:
+        """Run several statements, batching same-column range selects.
+
+        Statements that are simple range selections over the same
+        ``table.column`` (single predicate, plain projection, no pending
+        deltas on the table) and whose ranges overlap or touch are grouped
+        and answered from **one shared scan** of that column through the
+        strategy interface: the scan covers the envelope of the cluster's
+        bounds and each query filters its own slice from it.  Disjoint
+        ranges stay in separate clusters (their envelope would scan data no
+        member asked for); everything else falls back to :meth:`execute`.
+
+        Results are returned (and recorded in ``query_history``) in input
+        order; batched results carry ``batched=True``.
+        """
+        statements = list(statements)
+        parsed = [self._batchable_statement(sql) if batch else None for sql in statements]
+        groups: dict[tuple[str, str], list[int]] = {}
+        for index, statement in enumerate(parsed):
+            if statement is not None:
+                key = (statement.table, statement.predicates[0].column)
+                groups.setdefault(key, []).append(index)
+        clusters: dict[tuple[str, str, int], list[int]] = {}
+        group_of: dict[int, tuple[str, str, int]] = {}
+        for (table, column), indices in groups.items():
+            for cluster_id, cluster in enumerate(self._overlap_clusters(indices, parsed)):
+                if len(cluster) < 2:
+                    continue
+                key = (table, column, cluster_id)
+                clusters[key] = cluster
+                for index in cluster:
+                    group_of[index] = key
+
+        results: list[QueryResult] = []
+        pending: dict[int, QueryResult] = {}
+        for index, sql in enumerate(statements):
+            if index in pending:
+                result = pending.pop(index)
+            elif index in group_of:
+                table, column, _ = group_of[index]
+                members = clusters[group_of[index]]
+                batch_results = self._execute_batch(
+                    table, column, [(statements[j], parsed[j]) for j in members]
+                )
+                for j, batched_result in zip(members, batch_results):
+                    if j == index:
+                        result = batched_result
+                    else:
+                        pending[j] = batched_result
+            else:
+                results.append(self.execute(sql))  # appends to history itself
+                continue
+            self.query_history.append(result)
+            results.append(result)
+        return results
+
+    @staticmethod
+    def _overlap_clusters(
+        indices: list[int], parsed: list[SelectStatement | None]
+    ) -> list[list[int]]:
+        """Split a same-column group into clusters of overlapping ranges.
+
+        The shared scan covers the envelope of its cluster, so only ranges
+        that overlap (or touch) are merged — the envelope then equals their
+        union and the scan reads nothing no member asked for.
+        """
+        def range_of(index: int) -> tuple[float, float]:
+            low, high, _, _ = SQLCompiler._bounds(parsed[index].predicates[0])
+            return low, high
+
+        ordered = sorted(indices, key=range_of)
+        clusters: list[list[int]] = []
+        envelope_high = -np.inf
+        for index in ordered:
+            low, high = range_of(index)
+            if clusters and low <= envelope_high:
+                clusters[-1].append(index)
+                envelope_high = max(envelope_high, high)
+            else:
+                clusters.append([index])
+                envelope_high = high
+        return clusters
+
+    def _batchable_statement(self, sql: str) -> SelectStatement | None:
+        """The parsed statement when eligible for the shared-scan path.
+
+        ``None`` routes the statement through the conventional path — also
+        for unparsable or invalid statements, so they raise the same errors
+        they would raise under :meth:`execute`.
+        """
+        try:
+            statement = parse(sql)
+        except ValueError:
+            return None
+        if statement.is_aggregate or statement.limit is not None:
+            return None
+        if len(statement.predicates) != 1:
+            return None
+        predicate = statement.predicates[0]
+        if isinstance(predicate, ComparisonPredicate) and predicate.operator == "<>":
+            return None
+        try:
+            store = self.catalog.table(statement.table)
+            schema = self.catalog.schema(statement.table)
+            projected = (
+                schema.column_names if statement.columns == ("*",) else statement.columns
+            )
+            for name in (*projected, predicate.column):
+                schema.dtype_of(name)
+        except KeyError:
+            return None
+        if store.has_deltas:
+            # Delta BATs take the full Figure-1 cascade; keep them on it.
+            return None
+        return statement
+
+    def _execute_batch(
+        self, table: str, column: str, members: list[tuple[str, SelectStatement]]
+    ) -> list[QueryResult]:
+        """One shared scan of ``table.column`` answering every member query."""
+        total_started = time.perf_counter()
+        bounds = [SQLCompiler._bounds(statement.predicates[0]) for _, statement in members]
+
+        if self.bpm.is_managed(table, column):
+            adaptive = self.bpm.handle(table, column).adaptive
+            half_open = [
+                BatPartitionManager._half_open_bounds(adaptive, low, high, incl, inch)
+                for low, high, incl, inch in bounds
+            ]
+            envelope_low = min(low for low, _ in half_open)
+            envelope_high = max(high for _, high in half_open)
+            adaptive_before = self._adaptive_counters()
+            scan = adaptive.select(envelope_low, envelope_high)
+            selection_seconds, adaptation_seconds = self._adaptive_delta(adaptive_before)
+            scan_values, scan_oids = scan.values, scan.oids
+            masks = [
+                (scan_values >= low) & (scan_values < high) for low, high in half_open
+            ]
+        else:
+            started = time.perf_counter()
+            persistent = self.catalog.column(table, column).bind(0)
+            envelope_low = min(low for low, _, _, _ in bounds)
+            envelope_high = max(high for _, high, _, _ in bounds)
+            envelope = (persistent.tail >= envelope_low) & (persistent.tail <= envelope_high)
+            scan_values = persistent.tail[envelope]
+            scan_oids = persistent.head[envelope]
+            masks = []
+            for low, high, include_low, include_high in bounds:
+                mask = (scan_values >= low) if include_low else (scan_values > low)
+                mask &= (scan_values <= high) if include_high else (scan_values < high)
+                masks.append(mask)
+            selection_seconds = time.perf_counter() - started
+            adaptation_seconds = 0.0
+
+        schema = self.catalog.schema(table)
+        share = 1.0 / len(members)
+        column_arrays: dict[str, np.ndarray] = {}
+        results: list[QueryResult] = []
+        for (sql, statement), mask in zip(members, masks):
+            oids = scan_oids[mask]
+            projected = (
+                schema.column_names if statement.columns == ("*",) else statement.columns
+            )
+            columns: dict[str, np.ndarray] = {}
+            for name in projected:
+                if name not in column_arrays:
+                    column_arrays[name] = self.catalog.column(table, name).bind(0).tail
+                columns[name] = column_arrays[name][oids]
+            results.append(
+                QueryResult(
+                    sql=sql,
+                    columns=columns,
+                    plan_text=f"# batched shared scan of {table}.{column} "
+                              f"[{envelope_low:g}, {envelope_high:g})",
+                    selection_seconds=selection_seconds * share,
+                    adaptation_seconds=adaptation_seconds * share,
+                    plan_cache_hits=self.plan_cache.hits,
+                    plan_cache_misses=self.plan_cache.misses,
+                    batched=True,
+                )
+            )
+        total_share = (time.perf_counter() - total_started) * share
+        for result in results:
+            result.total_seconds = total_share
+        return results
 
     # -- adaptation accounting ------------------------------------------------------------
 

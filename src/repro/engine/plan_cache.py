@@ -1,0 +1,101 @@
+"""An LRU cache of optimized MAL plans keyed by normalized SQL text.
+
+Parsing, compiling and optimizing a statement is pure per-statement work that
+the hot query path repeats on every execution.  The cache short-circuits it:
+on a hit the stored optimized :class:`~repro.mal.program.MALProgram` is
+re-interpreted directly (plans are immutable once optimized; per-query state
+lives in the :class:`~repro.engine.execution.ExecutionContext`).
+
+Plans depend on the catalog schema and on which columns the BPM manages (the
+segment optimizer rewrites selections on managed columns), so the database
+clears the cache whenever either changes.  Data changes (inserts, deletes)
+do *not* invalidate: ``sql.bind`` resolves BATs at execution time.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.mal.program import MALProgram
+
+
+def normalize_sql(sql: str) -> str:
+    """The cache key for a statement: whitespace-collapsed, case-folded.
+
+    The supported SQL subset has no string literals, so case-folding the whole
+    statement is safe and makes ``SELECT X FROM T`` and ``select x from t``
+    share one plan.
+    """
+    return " ".join(sql.split()).lower()
+
+
+@dataclass(frozen=True)
+class PlanCacheStats:
+    """A snapshot of the cache counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class PlanCache:
+    """A bounded LRU mapping from normalized SQL to optimized MAL plans."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity <= 0:
+            raise ValueError(f"plan cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._plans: OrderedDict[str, MALProgram] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get(self, key: str) -> MALProgram | None:
+        """The cached plan for ``key``, refreshing its recency; counts hit/miss."""
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        self._plans.move_to_end(key)
+        self.hits += 1
+        return plan
+
+    def put(self, key: str, plan: MALProgram) -> None:
+        """Store a plan, evicting the least recently used entry when full."""
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every cached plan (schema or adaptive registration changed)."""
+        if self._plans:
+            self.invalidations += 1
+        self._plans.clear()
+
+    @property
+    def stats(self) -> PlanCacheStats:
+        """Current counters as an immutable snapshot."""
+        return PlanCacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            invalidations=self.invalidations,
+            size=len(self._plans),
+            capacity=self.capacity,
+        )

@@ -16,6 +16,11 @@ class QueryResult:
     label (e.g. ``"count(*)"``).  The timing fields separate the work spent in
     plain query processing from the work spent adapting the storage layout,
     which is the split Figure 10 of the paper reports.
+
+    ``plan_cache_hit`` records whether the optimized plan was served from the
+    database's plan cache (``plan_cache_hits``/``plan_cache_misses`` are the
+    cache's cumulative counters at the time this query finished); ``batched``
+    marks results answered by the shared-scan path of ``execute_many``.
     """
 
     sql: str
@@ -26,6 +31,10 @@ class QueryResult:
     selection_seconds: float = 0.0
     adaptation_seconds: float = 0.0
     optimizer_seconds: float = 0.0
+    plan_cache_hit: bool = False
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    batched: bool = False
 
     @property
     def row_count(self) -> int:

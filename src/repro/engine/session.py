@@ -52,9 +52,31 @@ class Session:
         self.timings.record(result)
         return result
 
+    def execute_many(self, statements: list[str], *, batch: bool = True) -> list[QueryResult]:
+        """Run a list of queries in order, using the batched shared-scan path.
+
+        Same-column range selections are grouped and answered from one shared
+        scan (see :meth:`Database.execute_many`); per-session history and
+        timing totals are updated for every result.
+        """
+        results = self.database.execute_many(statements, batch=batch)
+        for result in results:
+            self.results.append(result)
+            self.timings.record(result)
+        return results
+
     def executemany(self, statements: list[str]) -> list[QueryResult]:
-        """Run a list of queries in order."""
-        return [self.execute(sql) for sql in statements]
+        """Run a list of queries in order, one full execution per statement.
+
+        Kept on the original per-query contract (real per-query timings and
+        plans); opt into the shared-scan path with :meth:`execute_many`.
+        """
+        return self.execute_many(statements, batch=False)
+
+    @property
+    def plan_cache_stats(self):
+        """The database's plan-cache counters (hits, misses, hit ratio)."""
+        return self.database.plan_cache.stats
 
     def format_result(self, result: QueryResult, *, limit: int = 10) -> str:
         """Render a result as a small fixed-width table (for the examples)."""

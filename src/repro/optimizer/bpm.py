@@ -31,8 +31,7 @@ import numpy as np
 
 from repro.core.accounting import QueryStats
 from repro.core.models import SegmentationModel
-from repro.core.replication import ReplicatedColumn
-from repro.core.segmentation import SegmentedColumn
+from repro.core.strategy import AdaptiveColumnStrategy, create_strategy
 from repro.storage.bat import BAT
 from repro.storage.catalog import Catalog
 
@@ -44,7 +43,7 @@ class AdaptiveColumnHandle:
     table: str
     column: str
     strategy: str
-    adaptive: SegmentedColumn | ReplicatedColumn
+    adaptive: AdaptiveColumnStrategy
 
     @property
     def qualified_name(self) -> str:
@@ -92,28 +91,36 @@ class BatPartitionManager:
         column: str,
         *,
         strategy: str,
-        model: SegmentationModel,
         values: np.ndarray,
+        model: SegmentationModel | None = None,
         domain: tuple[float, float] | None = None,
         storage_budget: float | None = None,
+        **options: Any,
     ) -> AdaptiveColumnHandle:
-        """Hand a column over to the BPM with the chosen strategy and model."""
+        """Hand a column over to the BPM with the chosen registered strategy.
+
+        ``strategy`` is resolved through the strategy registry
+        (:mod:`repro.core.strategy`); extra keyword options are forwarded to
+        the strategy constructor when it accepts them.
+        """
         key = (table, column)
         if key in self._handles:
             raise ValueError(f"column {table}.{column} is already adaptive")
-        if strategy == "segmentation":
-            adaptive: SegmentedColumn | ReplicatedColumn = SegmentedColumn(
-                values, model=model, domain=domain
-            )
-        elif strategy == "replication":
-            adaptive = ReplicatedColumn(
-                values, model=model, domain=domain, storage_budget=storage_budget
-            )
-        else:
-            raise ValueError(f"unknown adaptive strategy {strategy!r}")
-        handle = AdaptiveColumnHandle(table=table, column=column, strategy=strategy, adaptive=adaptive)
+        adaptive = create_strategy(
+            strategy,
+            values,
+            model=model,
+            domain=domain,
+            storage_budget=storage_budget,
+            **options,
+        )
+        strategy_name = str(adaptive.strategy_name).strip().lower()
+        handle = AdaptiveColumnHandle(
+            table=table, column=column, strategy=strategy_name, adaptive=adaptive
+        )
+        # Register with the catalog first so a rejection leaves no half state.
+        self.catalog.register_adaptive(table, column, strategy_name)
         self._handles[key] = handle
-        self.catalog.register_adaptive(table, column, strategy)
         return handle
 
     def disable(self, table: str, column: str) -> None:
@@ -220,7 +227,7 @@ class BatPartitionManager:
 
     @staticmethod
     def _half_open_bounds(
-        adaptive: SegmentedColumn | ReplicatedColumn,
+        adaptive: AdaptiveColumnStrategy,
         low: float,
         high: float,
         include_low: bool,

@@ -79,19 +79,19 @@ def run_grid(
     results: dict[str, ExperimentResult] = {}
     combos: list[tuple[str, str]] = list(STRATEGY_MODEL_GRID)
     if include_baseline:
+        # The baseline needs no model; its registered strategy class also
+        # provides the "NoSegm" label, so no special-casing is needed here.
         combos.append(("-", "unsegmented"))
     for model_name, strategy in combos:
         result = run_single(
             workload,
             strategy=strategy,
-            model_name=model_name if strategy != "unsegmented" else "apm",
+            model_name=model_name,
             values=values.copy(),
             m_min=m_min,
             m_max=m_max,
             buffer_capacity_bytes=buffer_capacity_bytes,
             seed=seed,
         )
-        if strategy == "unsegmented":
-            result.label = "NoSegm"
         results[result.label] = result
     return results

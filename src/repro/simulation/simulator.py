@@ -16,10 +16,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.accounting import IOAccountant
-from repro.core.baseline import UnsegmentedColumn
 from repro.core.models import SegmentationModel, model_from_name
-from repro.core.replication import ReplicatedColumn
-from repro.core.segmentation import SegmentedColumn
+from repro.core.strategy import available_strategies, create_strategy, strategy_class
 from repro.simulation.metrics import ExperimentResult
 from repro.storage.buffer import BufferPool
 from repro.util.units import KB
@@ -27,12 +25,9 @@ from repro.util.validation import ensure_positive
 from repro.workloads.generators import make_column
 from repro.workloads.query import Workload
 
-#: Strategy name → column class.
-STRATEGIES = {
-    "segmentation": SegmentedColumn,
-    "replication": ReplicatedColumn,
-    "unsegmented": UnsegmentedColumn,
-}
+#: Strategy name → column class (deprecated compatibility view of the
+#: registry in :mod:`repro.core.strategy`; consult the registry directly).
+STRATEGIES = {name: strategy_class(name) for name in available_strategies()}
 
 
 class BufferedIOAccountant(IOAccountant):
@@ -68,27 +63,18 @@ def build_strategy(
     time_phases: bool = True,
     storage_budget: float | None = None,
 ):
-    """Instantiate the adaptive column for ``strategy`` over ``values``."""
-    key = strategy.strip().lower()
-    if key not in STRATEGIES:
-        raise ValueError(f"unknown strategy {strategy!r}; expected one of {sorted(STRATEGIES)}")
-    if key == "unsegmented":
-        return UnsegmentedColumn(
-            values, domain=domain, accountant=accountant, time_phases=time_phases
-        )
-    if model is None:
-        raise ValueError(f"strategy {strategy!r} requires a segmentation model")
-    if key == "segmentation":
-        return SegmentedColumn(
-            values,
-            model=model,
-            domain=domain,
-            accountant=accountant,
-            time_phases=time_phases,
-        )
-    return ReplicatedColumn(
+    """Instantiate the adaptive column for ``strategy`` over ``values``.
+
+    A thin wrapper over :func:`repro.core.strategy.create_strategy`, kept for
+    backward compatibility with the original simulator API: one option set is
+    passed for every strategy, so options a strategy does not take (e.g.
+    ``storage_budget`` outside replication) are dropped, not rejected.
+    """
+    return create_strategy(
+        strategy,
         values,
         model=model,
+        strict=False,
         domain=domain,
         accountant=accountant,
         time_phases=time_phases,
@@ -120,8 +106,8 @@ class SimulationConfig:
     metadata: dict = field(default_factory=dict)
 
     def make_model(self) -> SegmentationModel | None:
-        """Build the segmentation model (``None`` for the baseline)."""
-        if self.strategy == "unsegmented":
+        """Build the segmentation model (``None`` for model-free strategies)."""
+        if not strategy_class(self.strategy).requires_model:
             return None
         return model_from_name(self.model_name, m_min=self.m_min, m_max=self.m_max, seed=self.seed)
 
@@ -129,10 +115,7 @@ class SimulationConfig:
         """A short label in the paper's style, e.g. ``"APM Segm"``."""
         if self.label:
             return self.label
-        if self.strategy == "unsegmented":
-            return "NoSegm"
-        short = {"segmentation": "Segm", "replication": "Repl"}[self.strategy]
-        return f"{self.model_name.upper()} {short}"
+        return strategy_class(self.strategy).paper_label(self.model_name)
 
 
 class Simulator:
@@ -163,7 +146,7 @@ class Simulator:
         """Execute every query of the workload and collect the result."""
         for query in workload:
             self.column.select(query.low, query.high)
-        model_name = self.config.model_name if self.config.strategy != "unsegmented" else "-"
+        model_name = self.config.model_name if type(self.column).requires_model else "-"
         return ExperimentResult(
             label=self.config.display_label(),
             strategy=self.config.strategy,

@@ -99,8 +99,15 @@ class Catalog:
     def register_adaptive(self, table: str, column: str, strategy: str) -> None:
         """Mark a column as managed by the BPM with the given strategy."""
         self.schema(table).dtype_of(column)  # validates table and column
-        if strategy not in {"segmentation", "replication"}:
-            raise ValueError(f"unknown adaptive strategy {strategy!r}")
+        # The strategy registry (not a hard-coded set) is the authority on
+        # which strategies exist; imported lazily to keep storage below core.
+        from repro.core.strategy import available_strategies
+
+        if strategy not in available_strategies():
+            raise ValueError(
+                f"unknown adaptive strategy {strategy!r}; "
+                f"expected one of {sorted(available_strategies())}"
+            )
         self.adaptive_columns[(table, column)] = strategy
 
     def unregister_adaptive(self, table: str, column: str) -> None:

@@ -58,6 +58,11 @@ class StoredColumn:
         """Total bytes across persistent and delta BATs."""
         return self._persistent.size_bytes + self._inserts.size_bytes + self._updates.size_bytes
 
+    @property
+    def has_deltas(self) -> bool:
+        """True when pending inserts or updates exist for this column."""
+        return bool(self._inserts.count or self._updates.count)
+
     def bind(self, level: int) -> BAT:
         """The BAT for a ``sql.bind`` at the given level (0, 1 or 2)."""
         if level == BIND_PERSISTENT:
@@ -146,6 +151,13 @@ class ColumnStore:
     def row_count(self) -> int:
         """Number of logical rows (loaded plus inserted, minus deletions)."""
         return self._next_oid - self._deleted_oids.count
+
+    @property
+    def has_deltas(self) -> bool:
+        """True when any column has pending deltas or rows were deleted."""
+        if self._deleted_oids.count:
+            return True
+        return any(column.has_deltas for column in self.columns.values())
 
     @property
     def deletion_bat(self) -> BAT:

@@ -1,0 +1,191 @@
+"""Tests for the LRU plan cache and the batched ``execute_many`` path."""
+
+import numpy as np
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.plan_cache import PlanCache, normalize_sql
+from repro.engine.session import Session
+from repro.util.units import KB
+
+
+@pytest.fixture
+def database() -> Database:
+    rng = np.random.default_rng(17)
+    db = Database()
+    db.create_table("p", {"objid": "int64", "ra": "float64"})
+    db.bulk_load(
+        "p",
+        {
+            "objid": np.arange(20_000, dtype=np.int64),
+            "ra": rng.uniform(0.0, 360.0, size=20_000),
+        },
+    )
+    return db
+
+
+def _rows(result):
+    return sorted(map(tuple, zip(*(result.columns[name] for name in result.column_names))))
+
+
+class TestNormalizeSql:
+    def test_collapses_whitespace_and_case(self):
+        assert normalize_sql("SELECT  x\nFROM   t") == normalize_sql("select x from t")
+
+    def test_distinct_constants_stay_distinct(self):
+        assert normalize_sql("select x from t where x < 1") != normalize_sql(
+            "select x from t where x < 2"
+        )
+
+
+class TestPlanCacheUnit:
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", "plan-a")
+        cache.put("b", "plan-b")
+        assert cache.get("a") == "plan-a"  # refreshes a
+        cache.put("c", "plan-c")  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == "plan-a"
+        assert cache.evictions == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_stats_snapshot(self):
+        cache = PlanCache(capacity=4)
+        cache.put("a", "plan")
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats
+        assert stats.hits == 1 and stats.misses == 1 and stats.size == 1
+        assert stats.hit_ratio == 0.5
+
+
+class TestExecuteWithCache:
+    SQL = "SELECT objid FROM p WHERE ra BETWEEN 10.0 AND 40.0"
+
+    def test_second_execution_hits_and_answers_identically(self, database):
+        first = database.execute(self.SQL)
+        second = database.execute(self.SQL)
+        assert not first.plan_cache_hit
+        assert second.plan_cache_hit
+        assert _rows(first) == _rows(second)
+        assert second.plan_cache_hits == 1
+
+    def test_whitespace_and_case_variants_share_a_plan(self, database):
+        database.execute(self.SQL)
+        variant = database.execute("select objid  from p where ra between 10.0 and 40.0")
+        assert variant.plan_cache_hit
+
+    def test_enabling_adaptive_invalidates_cached_plans(self, database):
+        plain = database.execute(self.SQL)
+        database.enable_adaptive("p", "ra", strategy="segmentation", m_min=2 * KB, m_max=8 * KB)
+        adapted = database.execute(self.SQL)
+        assert not adapted.plan_cache_hit  # the cache was cleared
+        assert "bpm." in adapted.plan_text  # and the new plan is segment-aware
+        assert _rows(plain) == _rows(adapted)
+        again = database.execute(self.SQL)
+        assert again.plan_cache_hit
+        assert _rows(again) == _rows(plain)
+
+    def test_cached_adaptive_plan_still_adapts(self, database):
+        database.enable_adaptive("p", "ra", strategy="segmentation", m_min=1 * KB, m_max=4 * KB)
+        for _ in range(3):
+            database.execute(self.SQL)
+        handle = database.adaptive_handle("p", "ra")
+        assert len(handle.adaptive.history) == 3
+
+    def test_aggregates_are_cacheable(self, database):
+        first = database.execute("SELECT COUNT(*) FROM p WHERE ra < 100.0")
+        second = database.execute("SELECT COUNT(*) FROM p WHERE ra < 100.0")
+        assert second.plan_cache_hit
+        assert first.scalar("count(*)") == second.scalar("count(*)")
+
+
+class TestExecuteMany:
+    # Overlapping/touching ranges on p.ra: one cluster, one shared scan.
+    STATEMENTS = [
+        "SELECT objid FROM p WHERE ra BETWEEN 10.0 AND 40.0",
+        "SELECT objid, ra FROM p WHERE ra BETWEEN 30.0 AND 60.0",
+        "SELECT objid FROM p WHERE ra > 55.0",
+        "SELECT objid FROM p WHERE ra = 42.0",
+    ]
+
+    def _reference(self, statements):
+        rng = np.random.default_rng(17)
+        db = Database()
+        db.create_table("p", {"objid": "int64", "ra": "float64"})
+        db.bulk_load(
+            "p",
+            {
+                "objid": np.arange(20_000, dtype=np.int64),
+                "ra": rng.uniform(0.0, 360.0, size=20_000),
+            },
+        )
+        return [db.execute(sql) for sql in statements]
+
+    def test_batched_results_match_individual_execution(self, database):
+        batched = database.execute_many(self.STATEMENTS)
+        reference = self._reference(self.STATEMENTS)
+        assert all(result.batched for result in batched)
+        for got, expected in zip(batched, reference):
+            assert got.column_names == expected.column_names
+            assert _rows(got) == _rows(expected)
+
+    def test_batched_results_match_on_an_adaptive_column(self, database):
+        database.enable_adaptive("p", "ra", strategy="segmentation", m_min=2 * KB, m_max=8 * KB)
+        batched = database.execute_many(self.STATEMENTS)
+        reference = self._reference(self.STATEMENTS)
+        for got, expected in zip(batched, reference):
+            assert _rows(got) == _rows(expected)
+
+    def test_disjoint_ranges_are_not_merged(self, database):
+        """A shared scan over disjoint ranges would read unrequested data."""
+        results = database.execute_many(
+            [
+                "SELECT objid FROM p WHERE ra BETWEEN 0.0 AND 1.0",
+                "SELECT objid FROM p WHERE ra BETWEEN 350.0 AND 351.0",
+            ]
+        )
+        assert not any(result.batched for result in results)
+
+    def test_results_come_back_in_input_order(self, database):
+        statements = [
+            "SELECT COUNT(*) FROM p",  # not batchable (aggregate)
+            "SELECT objid FROM p WHERE ra BETWEEN 10.0 AND 40.0",
+            "SELECT objid FROM p WHERE ra BETWEEN 30.0 AND 60.0",
+        ]
+        results = database.execute_many(statements)
+        assert [result.sql for result in results] == statements
+        assert not results[0].batched
+        assert results[1].batched and results[2].batched
+        assert [r.sql for r in database.query_history] == statements
+
+    def test_single_member_groups_take_the_conventional_path(self, database):
+        results = database.execute_many(["SELECT objid FROM p WHERE ra < 10.0"])
+        assert not results[0].batched
+
+    def test_tables_with_deltas_fall_back(self, database):
+        database.insert("p", {"objid": np.array([99_999]), "ra": np.array([10.5])})
+        results = database.execute_many(self.STATEMENTS[:2])
+        assert not any(result.batched for result in results)
+        direct = database.execute(self.STATEMENTS[0])
+        assert _rows(results[0]) == _rows(direct)
+
+    def test_batch_disabled_runs_conventionally(self, database):
+        results = database.execute_many(self.STATEMENTS[:2], batch=False)
+        assert not any(result.batched for result in results)
+
+    def test_invalid_statement_raises_the_usual_error(self, database):
+        with pytest.raises(Exception):
+            database.execute_many(["SELECT objid FROM nowhere WHERE x < 1"])
+
+    def test_session_execute_many_records_timings(self, database):
+        session = Session(database)
+        results = session.execute_many(self.STATEMENTS[:2])
+        assert session.timings.queries == 2
+        assert len(session.results) == 2
+        assert all(result.batched for result in results)
+        assert session.plan_cache_stats.capacity == database.plan_cache.capacity

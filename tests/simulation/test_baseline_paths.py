@@ -1,0 +1,65 @@
+"""Regression test for the unified baseline path (registry refactor).
+
+Before the strategy registry, ``simulation/simulator.py`` and
+``simulation/runner.py`` each special-cased the "unsegmented" strategy
+(separate model handling and label patching).  Both now resolve through the
+registry; this test proves the direct-simulator path and the grid-runner path
+produce *identical* per-query :class:`QueryStats` for the baseline.
+"""
+
+import numpy as np
+
+from repro.simulation.runner import run_grid, run_single
+from repro.simulation.simulator import SimulationConfig, Simulator
+from repro.workloads.generators import make_column, uniform_workload
+
+DOMAIN = (0.0, 1_000_000.0)
+
+
+def _stats_records(result):
+    return [
+        (
+            record.index,
+            record.low,
+            record.high,
+            record.reads_bytes,
+            record.writes_bytes,
+            record.result_count,
+            record.segment_count,
+            record.storage_bytes,
+            record.segments_scanned,
+            record.splits_performed,
+        )
+        for record in result.log
+    ]
+
+
+class TestBaselinePathsAgree:
+    def test_simulator_and_runner_produce_identical_baseline_stats(self):
+        values = make_column(10_000, 1_000_000, seed=42)
+        workload = uniform_workload(80, DOMAIN, 0.1, seed=42)
+
+        direct = Simulator(
+            SimulationConfig(strategy="unsegmented"), values=values.copy()
+        ).run(workload)
+        via_runner = run_single(
+            workload, strategy="unsegmented", model_name="-", values=values.copy()
+        )
+
+        assert direct.label == via_runner.label == "NoSegm"
+        assert direct.model == via_runner.model == "-"
+        assert _stats_records(direct) == _stats_records(via_runner)
+
+    def test_grid_baseline_matches_the_direct_path(self):
+        values = make_column(10_000, 1_000_000, seed=43)
+        workload = uniform_workload(60, DOMAIN, 0.1, seed=43)
+
+        direct = Simulator(
+            SimulationConfig(strategy="unsegmented"), values=values.copy()
+        ).run(workload)
+        grid = run_grid(workload, values=values, include_baseline=True, seed=43)
+
+        assert "NoSegm" in grid
+        assert _stats_records(grid["NoSegm"]) == _stats_records(direct)
+        # The baseline never reorganizes, whichever path built it.
+        assert all(record.writes_bytes == 0 for record in grid["NoSegm"].log)

@@ -41,6 +41,17 @@ class TestBuildStrategy:
         with pytest.raises(ValueError):
             build_strategy("segmentation", make_column(100), None)
 
+    def test_options_unknown_to_a_strategy_are_dropped(self):
+        """One option set serves every strategy (legacy simulator contract)."""
+        from repro.core.models import AdaptivePageModel
+
+        model = AdaptivePageModel(1 * KB, 4 * KB)
+        column = build_strategy(
+            "segmentation", make_column(5_000, 100_000, seed=1), model,
+            storage_budget=1e6,  # only replication takes this; must not raise
+        )
+        assert column.select(0, 50_000).count > 0
+
 
 class TestSimulationConfig:
     def test_display_labels_match_paper(self):
