@@ -1,0 +1,202 @@
+"""Standing perf suite: sorted zero-copy kernels vs. the legacy mask kernels.
+
+Times the micro kernels of the physical layer (``Segment.select`` /
+``Segment.partition`` against the pre-sorted-layout mask implementations
+reproduced below) plus one end-to-end engine run, and writes the numbers to
+``BENCH_segment_kernels.json`` at the repository root so the perf trajectory
+is tracked from this PR onward.
+
+Scales with the environment (CI runs reduced)::
+
+    PERF_ROWS      column size for the micro kernels / engine run (default 100 000)
+    PERF_QUERIES   number of end-to-end engine queries        (default 200)
+    PERF_REPEAT    timing repeats per kernel                  (default 5)
+
+The suite never fails on timing — it reports.  Set ``PERF_ASSERT=1`` to
+additionally enforce the PR's acceptance bars (>= 5x fully-contained select,
+>= 2x adaptive-split partition at 100 K values) for local verification.
+
+Runs standalone::
+
+    PYTHONPATH=src python benchmarks/bench_perf_suite.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.perf_tracking import PerfSuite, env_scale
+from repro.core.ranges import ValueRange
+from repro.core.segment import Segment
+from repro.engine.database import Database
+from repro.util.units import KB
+from repro.workloads.generators import make_column
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPORT_PATH = REPO_ROOT / "BENCH_segment_kernels.json"
+
+DOMAIN = (0.0, 1_000_000.0)
+
+
+# ---------------------------------------------------------------------------
+# Legacy kernels (the pre-zero-copy implementation, kept as the yardstick)
+# ---------------------------------------------------------------------------
+
+
+def legacy_mask_select(
+    values: np.ndarray, oids: np.ndarray, low: float, high: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """The old ``Segment.select``: boolean mask over an unsorted payload + copy."""
+    mask = (values >= low) & (values < high)
+    return values[mask], oids[mask]
+
+
+def legacy_mask_partition(
+    values: np.ndarray, oids: np.ndarray, vrange: ValueRange, points: list[float]
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """The old ``Segment.partition``: bucket every value, copy every piece."""
+    sub_ranges = vrange.split_at(points)
+    cuts = [r.high for r in sub_ranges[:-1]]
+    bucket = np.searchsorted(np.asarray(cuts), values, side="right")
+    pieces = []
+    for i, _sub in enumerate(sub_ranges):
+        selected = bucket == i
+        pieces.append((values[selected], oids[selected]))
+    return pieces
+
+
+# ---------------------------------------------------------------------------
+# The suite
+# ---------------------------------------------------------------------------
+
+
+def run_suite() -> PerfSuite:
+    n_rows = env_scale("PERF_ROWS", 100_000)
+    n_queries = env_scale("PERF_QUERIES", 200)
+    repeat = env_scale("PERF_REPEAT", 5)
+
+    raw_values = make_column(n_rows, int(DOMAIN[1]), seed=17)
+    raw_oids = np.arange(n_rows, dtype=np.int64)
+    segment = Segment(ValueRange(*DOMAIN), raw_values.copy())
+
+    suite = PerfSuite("segment_kernels")
+
+    # -- select on a fully-contained range (the meta-index fast path) -------
+    contained = ValueRange(*DOMAIN)
+    suite.measure(
+        "select_contained_sorted",
+        lambda: segment.select(contained),
+        number=200,
+        repeat=repeat,
+        rows=n_rows,
+    )
+    suite.measure(
+        "select_contained_legacy_mask",
+        lambda: legacy_mask_select(raw_values, raw_oids, contained.low, contained.high),
+        number=20,
+        repeat=repeat,
+        rows=n_rows,
+    )
+    suite.derive(
+        "speedup_select_contained",
+        suite["select_contained_legacy_mask"].value / suite["select_contained_sorted"].value,
+    )
+
+    # -- select on a partial (10%) range ------------------------------------
+    partial = ValueRange(450_000.0, 550_000.0)
+    suite.measure(
+        "select_partial_sorted",
+        lambda: segment.select(partial),
+        number=200,
+        repeat=repeat,
+        rows=n_rows,
+    )
+    suite.measure(
+        "select_partial_legacy_mask",
+        lambda: legacy_mask_select(raw_values, raw_oids, partial.low, partial.high),
+        number=20,
+        repeat=repeat,
+        rows=n_rows,
+    )
+    suite.derive(
+        "speedup_select_partial",
+        suite["select_partial_legacy_mask"].value / suite["select_partial_sorted"].value,
+    )
+
+    # -- adaptive split (partition at the query bounds) ----------------------
+    split_points = [partial.low, partial.high]
+    suite.measure(
+        "partition_sorted",
+        lambda: segment.partition(split_points),
+        number=100,
+        repeat=repeat,
+        rows=n_rows,
+    )
+    suite.measure(
+        "partition_legacy_mask",
+        lambda: legacy_mask_partition(
+            raw_values, raw_oids, ValueRange(*DOMAIN), split_points
+        ),
+        number=20,
+        repeat=repeat,
+        rows=n_rows,
+    )
+    suite.derive(
+        "speedup_partition",
+        suite["partition_legacy_mask"].value / suite["partition_sorted"].value,
+    )
+
+    # -- one end-to-end engine run (SQL -> optimizer -> BPM -> kernels) ------
+    def engine_run() -> None:
+        rng = np.random.default_rng(29)
+        database = Database()
+        database.create_table("p", {"objid": "int64", "ra": "float64"})
+        database.bulk_load(
+            "p",
+            {
+                "objid": np.arange(n_rows, dtype=np.int64),
+                "ra": rng.uniform(0.0, 360.0, size=n_rows),
+            },
+        )
+        database.enable_adaptive("p", "ra", strategy="segmentation", model="apm",
+                                 m_min=8 * KB, m_max=32 * KB)
+        for _ in range(n_queries):
+            low = float(rng.uniform(0.0, 356.0))
+            database.execute(f"SELECT objid FROM p WHERE ra BETWEEN {low} AND {low + 3.6}")
+
+    started = time.perf_counter()
+    engine_run()
+    engine_seconds = time.perf_counter() - started
+    suite.derive(
+        "engine_end_to_end", engine_seconds, unit="s",
+        rows=n_rows, queries=n_queries,
+    )
+    suite.derive(
+        "engine_per_query", engine_seconds / n_queries, unit="s",
+        rows=n_rows, queries=n_queries,
+    )
+    return suite
+
+
+def main() -> int:
+    suite = run_suite()
+    path = suite.write(REPORT_PATH)
+    print(suite.format_summary())
+    print(f"[saved to {path}]")
+
+    if os.environ.get("PERF_ASSERT") == "1":
+        contained = suite["speedup_select_contained"].value
+        partition = suite["speedup_partition"].value
+        assert contained >= 5.0, f"fully-contained select speedup {contained:.1f}x < 5x"
+        assert partition >= 2.0, f"partition speedup {partition:.1f}x < 2x"
+        print(f"[PERF_ASSERT ok: select {contained:.1f}x, partition {partition:.1f}x]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

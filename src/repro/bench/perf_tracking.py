@@ -1,0 +1,198 @@
+"""Standing performance tracking: timed suites persisted as ``BENCH_*.json``.
+
+The repo's perf trajectory is tracked by small JSON reports written at the
+repository root (``BENCH_<suite>.json``).  Each report records what was
+measured, how (iterations, repeats), the numbers themselves, and enough
+environment detail to interpret a regression.  Benchmarks never fail on
+timing — a report is data, not a gate — so CI runs them crash-only and
+archives the JSON as an artifact.
+
+Usage::
+
+    suite = PerfSuite("segment_kernels")
+    suite.measure("sorted_select", fn, number=1000)
+    suite.derive("speedup_select", baseline_s / sorted_s, unit="x")
+    suite.write(repo_root / "BENCH_segment_kernels.json")
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+
+def env_scale(name: str, default: int) -> int:
+    """An integer scale knob read from the environment (CI runs reduced).
+
+    Raises :class:`ValueError` for a malformed value instead of silently
+    benchmarking the wrong size.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    value = int(raw)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def time_per_op(fn: Callable[[], Any], *, number: int, repeat: int = 5) -> dict[str, float]:
+    """Best and median seconds-per-call of ``fn`` over ``repeat`` batches.
+
+    The *best* batch is the standard micro-benchmark statistic (least noise);
+    the median is kept alongside it as a stability indicator.
+    """
+    if number <= 0 or repeat <= 0:
+        raise ValueError("number and repeat must be positive")
+    batches: list[float] = []
+    for _ in range(repeat):
+        started = time.perf_counter()
+        for _ in range(number):
+            fn()
+        batches.append((time.perf_counter() - started) / number)
+    batches.sort()
+    return {"best_s": batches[0], "median_s": batches[len(batches) // 2]}
+
+
+@dataclass
+class BenchRecord:
+    """One measured (or derived) quantity of a perf suite."""
+
+    name: str
+    value: float
+    unit: str = "s"
+    number: int | None = None
+    repeat: int | None = None
+    median_s: float | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        record: dict[str, Any] = {"name": self.name, "value": self.value, "unit": self.unit}
+        if self.number is not None:
+            record["number"] = self.number
+        if self.repeat is not None:
+            record["repeat"] = self.repeat
+        if self.median_s is not None:
+            record["median_s"] = self.median_s
+        if self.metadata:
+            record["metadata"] = self.metadata
+        return record
+
+
+class PerfSuite:
+    """Collects timed kernels and derived figures into one JSON report."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.records: list[BenchRecord] = []
+
+    # -- measuring ---------------------------------------------------------
+
+    def measure(
+        self,
+        name: str,
+        fn: Callable[[], Any],
+        *,
+        number: int,
+        repeat: int = 5,
+        **metadata: Any,
+    ) -> BenchRecord:
+        """Time ``fn`` and record its best seconds-per-call."""
+        timing = time_per_op(fn, number=number, repeat=repeat)
+        record = BenchRecord(
+            name=name,
+            value=timing["best_s"],
+            unit="s",
+            number=number,
+            repeat=repeat,
+            median_s=timing["median_s"],
+            metadata=dict(metadata),
+        )
+        self.records.append(record)
+        return record
+
+    def derive(self, name: str, value: float, *, unit: str = "x", **metadata: Any) -> BenchRecord:
+        """Record a derived figure (a speedup ratio, a byte count, ...)."""
+        record = BenchRecord(name=name, value=float(value), unit=unit, metadata=dict(metadata))
+        self.records.append(record)
+        return record
+
+    def __getitem__(self, name: str) -> BenchRecord:
+        for record in self.records:
+            if record.name == name:
+                return record
+        raise KeyError(f"no benchmark record named {name!r}")
+
+    # -- reporting ---------------------------------------------------------
+
+    @staticmethod
+    def environment() -> dict[str, Any]:
+        """Environment details a reader needs to interpret the numbers."""
+        return {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "processor": platform.processor(),
+        }
+
+    def report(self) -> dict[str, Any]:
+        """The full suite as a JSON-serialisable mapping."""
+        return {
+            "suite": self.name,
+            "created_unix": time.time(),
+            "environment": self.environment(),
+            "results": [record.to_json() for record in self.records],
+        }
+
+    def write(self, path: str | Path) -> Path:
+        """Persist the report (pretty-printed, stable key order)."""
+        path = Path(path)
+        path.write_text(json.dumps(self.report(), indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        return path
+
+    def format_summary(self) -> str:
+        """A fixed-width text rendering of the suite for terminal output."""
+        width = max((len(r.name) for r in self.records), default=4)
+        lines = [f"== perf suite: {self.name} =="]
+        for record in self.records:
+            if record.unit == "s":
+                rendered = f"{record.value * 1e6:12.2f} µs/op"
+            else:
+                rendered = f"{record.value:12.2f} {record.unit}"
+            lines.append(f"  {record.name:<{width}s} {rendered}")
+        return "\n".join(lines)
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    """Load a previously written ``BENCH_*.json`` report."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def compare_to_baseline(
+    current: dict[str, Any], baseline: dict[str, Any]
+) -> dict[str, float]:
+    """Per-record ratio ``current / baseline`` for records present in both.
+
+    Ratios above 1.0 mean the current run is slower (for ``s``-unit records).
+    This is the hook future PRs use to watch the perf trajectory across
+    reports.
+    """
+    baseline_values = {
+        r["name"]: r["value"] for r in baseline.get("results", []) if r.get("value")
+    }
+    ratios: dict[str, float] = {}
+    for record in current.get("results", []):
+        name = record["name"]
+        if name in baseline_values and baseline_values[name]:
+            ratios[name] = record["value"] / baseline_values[name]
+    return ratios

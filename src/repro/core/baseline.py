@@ -5,6 +5,12 @@ non-segmented MonetDB column ("NoSegm" in Figures 10–16): every range
 selection scans the entire column.  This class mirrors the adaptive columns'
 interface (``select``, ``history``, accounting) so the harness can treat all
 strategies uniformly.
+
+Unlike the adaptive strategies, the baseline deliberately does **not** adopt
+the sorted zero-copy segment layout: it keeps the payload in positional
+(load) order and answers every query with a boolean-mask full scan, so its
+wall-clock ``selection_seconds`` keeps modelling the unsegmented scan the
+paper uses as the experimental control.
 """
 
 from __future__ import annotations
@@ -47,8 +53,19 @@ class UnsegmentedColumn(AdaptiveColumnBase):
         self.domain = (
             ValueRange(float(domain[0]), float(domain[1])) if domain is not None else domain_of(values)
         )
-        self._segment = Segment(self.domain, values, oids, value_width=self.value_width)
-        self.total_bytes = self._segment.size_bytes
+        # Positional payload — the baseline never reorganises or sorts.
+        self._values = values
+        if oids is None:
+            self._oids = np.arange(values.size, dtype=np.int64)
+        else:
+            self._oids = np.asarray(oids, dtype=np.int64)
+            if self._oids.size != values.size:
+                raise ValueError(
+                    f"values and oids must have equal length, "
+                    f"got {values.size} and {self._oids.size}"
+                )
+        self.total_bytes = float(values.size * self.value_width)
+        self._segment_view: Segment | None = None
         self.accountant = accountant if accountant is not None else IOAccountant()
         self.history: QueryLog | None = QueryLog() if keep_history else None
         self._time_phases = time_phases
@@ -61,13 +78,21 @@ class UnsegmentedColumn(AdaptiveColumnBase):
 
     @property
     def segments(self) -> list[Segment]:
-        """The single segment holding the whole column."""
-        return [self._segment]
+        """A one-segment view of the column (built once, cached).
+
+        The returned :class:`Segment` follows the sorted layout and owns a
+        private copy of the payload — mutating it cannot reach the live
+        positional arrays.  The baseline never reorganizes, so the cached
+        view never needs invalidating.
+        """
+        if self._segment_view is None:
+            self._segment_view = Segment(self.domain, self._values.copy(), self._oids.copy())
+        return [self._segment_view]
 
     @property
     def storage_bytes(self) -> float:
         """Bytes used for the column payload."""
-        return self._segment.size_bytes
+        return self.total_bytes
 
     def select(self, low: float, high: float) -> SelectionResult:
         """Answer ``low <= value < high`` with a full column scan."""
@@ -75,9 +100,12 @@ class UnsegmentedColumn(AdaptiveColumnBase):
         stats = QueryStats(index=self._queries_executed, low=query.low, high=query.high)
         self.accountant.attach(stats)
         try:
-            self.accountant.record_read(self._segment.size_bytes, self._segment)
+            # ``self`` is the buffer-pool page token: one stable identity for
+            # the one "segment" the baseline ever reads.
+            self.accountant.record_read(self.total_bytes, self)
             started = time.perf_counter() if self._time_phases else 0.0
-            result = self._segment.select(query)
+            mask = (self._values >= query.low) & (self._values < query.high)
+            result = SelectionResult(self._values[mask], self._oids[mask])
             if self._time_phases:
                 stats.selection_seconds = time.perf_counter() - started
         finally:
@@ -91,8 +119,11 @@ class UnsegmentedColumn(AdaptiveColumnBase):
         return result
 
     def check_invariants(self) -> None:
-        """The baseline has a single invariant: its payload matches its range."""
-        self._segment.check_invariants()
+        """The baseline has a single invariant: its payload matches its domain."""
+        if self._values.size and not bool(
+            np.all((self._values >= self.domain.low) & (self._values < self.domain.high))
+        ):
+            raise AssertionError("unsegmented column holds values outside its domain")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"UnsegmentedColumn(bytes={self.total_bytes:g})"

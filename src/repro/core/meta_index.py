@@ -63,11 +63,21 @@ class SegmentMetaIndex:
         self._lows.insert(position, segment.vrange.low)
 
     def replace(self, old: Segment, new_segments: list[Segment]) -> None:
-        """Replace ``old`` with its sub-segments (after an adaptive split)."""
-        try:
-            position = self._segments.index(old)
-        except ValueError as exc:
-            raise KeyError(f"segment {old.vrange} is not in the index") from exc
+        """Replace ``old`` with its sub-segments (after an adaptive split).
+
+        ``old`` is located by bisecting the low-bound cache — segments are
+        non-overlapping, so their lows are unique — instead of an O(n)
+        linear scan.
+        """
+        position = bisect.bisect_left(self._lows, old.vrange.low)
+        while (
+            position < len(self._segments)
+            and self._lows[position] == old.vrange.low
+            and self._segments[position] is not old
+        ):
+            position += 1
+        if position >= len(self._segments) or self._segments[position] is not old:
+            raise KeyError(f"segment {old.vrange} is not in the index")
         del self._segments[position]
         del self._lows[position]
         for offset, segment in enumerate(sorted(new_segments, key=lambda s: s.vrange.low)):
@@ -89,6 +99,20 @@ class SegmentMetaIndex:
             if segment.vrange.overlaps(vrange):
                 result.append(segment)
         return result
+
+    def overlapping_classified(self, vrange: ValueRange) -> list[tuple[Segment, bool]]:
+        """Overlapping segments in value order, tagged *fully contained*.
+
+        The tag is decided purely from range metadata — no data is touched:
+        a fully-contained segment's whole (sorted) payload answers the
+        predicate, so callers take it as-is without even the binary-search
+        probes.  At most the first and last overlapping segments can
+        straddle a predicate bound.
+        """
+        return [
+            (segment, vrange.contains_range(segment.vrange))
+            for segment in self.overlapping(vrange)
+        ]
 
     def covering(self, value: float) -> Segment | None:
         """The segment containing ``value``, or ``None``."""

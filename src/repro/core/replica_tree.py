@@ -13,10 +13,8 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
-import numpy as np
-
 from repro.core.ranges import ValueRange
-from repro.core.segment import SelectionResult, Segment
+from repro.core.segment import Segment
 
 
 class ReplicaNode:
@@ -55,6 +53,18 @@ class ReplicaNode:
         return self.segment.estimate_bytes(sub)
 
     # -- structure maintenance ----------------------------------------------
+
+    def materialize_from(self, source: "ReplicaNode") -> Segment:
+        """Materialize this node's payload from ``source``'s segment.
+
+        With the sorted zero-copy layout the replica is a slice *view* of the
+        source's base array — creating it moves no payload bytes physically.
+        The caller remains responsible for accounting the *logical* write
+        (``piece.size_bytes``), which is what the paper's figures count.
+        """
+        piece = source.segment.extract(self.vrange)
+        self.segment = piece
+        return piece
 
     def add_child(self, node: "ReplicaNode") -> None:
         """Attach ``node`` below this node, keeping children ordered by range."""

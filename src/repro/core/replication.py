@@ -260,10 +260,14 @@ class ReplicatedColumn(AdaptiveColumnBase):
     def _materialize(
         self, cover_node: ReplicaNode, to_materialize: list[ReplicaNode], stats: QueryStats
     ) -> None:
-        """Single scan of the covering segment materializes every chosen replica."""
+        """Single scan of the covering segment materializes every chosen replica.
+
+        Replicas are zero-copy slices of the covering segment's sorted
+        payload (:meth:`ReplicaNode.materialize_from`); the write accounting
+        records the logical bytes of each replica exactly as before.
+        """
         for node in to_materialize:
-            piece = cover_node.segment.extract(node.vrange)
-            node.segment = piece
+            piece = node.materialize_from(cover_node)
             self.accountant.record_write(piece.size_bytes, piece)
             stats.replicas_materialized += 1
             self._last_access[id(node)] = self._queries_executed

@@ -8,6 +8,12 @@ APM).  When a split is taken, the segment is *eagerly* replaced in place by
 its two or three sub-segments — the query result is piggy-backed on this
 reorganization, and the pieces outside the selection constitute the
 reorganization overhead the paper measures as memory writes.
+
+With the sorted zero-copy segment layout (:mod:`repro.core.segment`), a
+split produces slice views over the shared payload and a selection over a
+fully-contained segment returns its payload directly; the accountants keep
+counting *logical* bytes (``count * value_width``), so the read/write
+figures are unchanged.
 """
 
 from __future__ import annotations
@@ -133,11 +139,18 @@ class SegmentedColumn(AdaptiveColumnBase):
 
     def _execute(self, query: ValueRange, stats: QueryStats) -> SelectionResult:
         parts: list[SelectionResult] = []
-        for segment in self.meta_index.overlapping(query):
+        for segment, fully_contained in self.meta_index.overlapping_classified(query):
             self.accountant.record_read(segment.size_bytes, segment)
 
             started = self._now()
-            parts.append(segment.select(query))
+            if fully_contained:
+                # Meta-index fast path: a segment fully inside the predicate
+                # contributes its whole (sorted) payload as a zero-copy view
+                # — no probes, no data touched.  Logical read bytes are
+                # accounted above exactly as before.
+                parts.append(SelectionResult(segment.values, segment.oids, values_sorted=True))
+            else:
+                parts.append(segment.select(query))
             stats.selection_seconds += self._now() - started
 
             started = self._now()
@@ -180,11 +193,14 @@ class SegmentedColumn(AdaptiveColumnBase):
                     continue
                 if first.vrange.high != second.vrange.low:
                     continue
+                # Adjacent segments hold disjoint ascending value ranges, so
+                # their concatenation is already sorted.
                 glued = Segment(
                     ValueRange(first.vrange.low, second.vrange.high),
                     np.concatenate([first.values, second.values]),
                     np.concatenate([first.oids, second.oids]),
                     value_width=self.value_width,
+                    assume_sorted=True,
                 )
                 self.accountant.record_write(glued.size_bytes, glued)
                 self.meta_index.replace(first, [glued])

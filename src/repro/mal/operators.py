@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.storage.bat import BAT
+from repro.util.sorted_search import sorted_probe
 
 
 # ---------------------------------------------------------------------------
@@ -35,7 +36,13 @@ def select(bat: BAT, low: float, high: float, *, include_low: bool = True, inclu
     library; the SQL ``BETWEEN`` compiler passes ``include_high=True``.
     Void heads are never materialized in full: only the qualifying oids are
     computed from the dense sequence.
+
+    Sorted tails (``tail_sorted`` — e.g. the pieces the BPM hands to
+    rewritten plans) are answered by binary-search slicing, returning views
+    without comparing a single tail value.
     """
+    if bat.tail_sorted:
+        return bat.value_slice(low, high, include_low=include_low, include_high=include_high)
     tail = bat.tail
     mask = (tail >= low) if include_low else (tail > low)
     mask &= (tail <= high) if include_high else (tail < high)
@@ -58,6 +65,20 @@ def uselect(
 def thetaselect(bat: BAT, value: float, operator: str) -> BAT:
     """Single-sided comparison selection (used by the SQL compiler for <, >, =)."""
     tail = bat.tail
+    if bat.tail_sorted and operator != "!=":
+        if operator == "<":
+            return bat.slice(0, sorted_probe(tail, value, side="left"))
+        if operator == "<=":
+            return bat.slice(0, sorted_probe(tail, value, side="right"))
+        if operator == ">":
+            return bat.slice(sorted_probe(tail, value, side="right"), bat.count)
+        if operator == ">=":
+            return bat.slice(sorted_probe(tail, value, side="left"), bat.count)
+        if operator == "==":
+            return bat.slice(
+                sorted_probe(tail, value, side="left"),
+                sorted_probe(tail, value, side="right"),
+            )
     comparators = {
         "<": tail < value,
         "<=": tail <= value,

@@ -24,7 +24,7 @@ downstream plan shape matches the paper's §3.1 snippet.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
@@ -221,8 +221,17 @@ class BatPartitionManager:
         pieces: list[BAT] = []
         if result.count:
             # Candidate lists carry the qualifying oids in head and tail, the
-            # same shape algebra.uselect produces.
-            pieces.append(BAT.from_pairs(result.oids, result.values))
+            # same shape algebra.uselect produces.  Segment-backed strategies
+            # promise sorted values at construction (SelectionResult.values_sorted),
+            # letting the plan's inner algebra.select answer the piece with
+            # binary-search slicing instead of a scan; the positional baseline
+            # and unsorted plugin results leave the flag off and take the
+            # mask path — correct either way.
+            pieces.append(
+                BAT.from_pairs(
+                    result.oids, result.values, tail_sorted=result.values_sorted
+                )
+            )
         return _SegmentIterator(pieces=pieces)
 
     @staticmethod

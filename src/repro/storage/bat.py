@@ -7,6 +7,12 @@ contiguous array with "no holes, deleted elements, or auxiliary data", which
 is what makes a BAT "conveniently split at any point" (§2).  This module
 provides the numpy-backed equivalent used by the MAL operators and, through
 the BPM, by the adaptive strategies.
+
+BATs whose tail is known to be value-sorted (the pieces the BPM hands to
+rewritten plans come from sorted segments) carry a ``tail_sorted`` flag; the
+selection operators then answer range predicates with two binary searches
+and a slice *view* (:meth:`BAT.value_slice`) instead of comparing every
+tail value.
 """
 
 from __future__ import annotations
@@ -14,6 +20,8 @@ from __future__ import annotations
 from typing import Any
 
 import numpy as np
+
+from repro.util.sorted_search import sorted_probe
 
 
 class BAT:
@@ -30,9 +38,13 @@ class BAT:
         First oid of a void head.
     name:
         Optional diagnostic name (e.g. ``"sys_P_ra"``).
+    tail_sorted:
+        The caller guarantees the tail is non-decreasing.  Selection
+        operators then use binary-search slicing (zero-copy) instead of
+        boolean masks.  The flag is a promise, not verified here.
     """
 
-    __slots__ = ("_head", "tail", "hseqbase", "name")
+    __slots__ = ("_head", "tail", "hseqbase", "name", "tail_sorted")
 
     def __init__(
         self,
@@ -41,6 +53,7 @@ class BAT:
         *,
         hseqbase: int = 0,
         name: str = "",
+        tail_sorted: bool = False,
     ) -> None:
         tail = np.asarray(tail)
         if tail.ndim != 1:
@@ -57,18 +70,23 @@ class BAT:
         self.tail = tail
         self.hseqbase = int(hseqbase)
         self.name = name
+        self.tail_sorted = bool(tail_sorted)
 
     # -- constructors -----------------------------------------------------
 
     @classmethod
     def empty(cls, dtype: Any = np.int64, *, name: str = "") -> "BAT":
         """An empty BAT with a void head (used for empty delta BATs)."""
-        return cls(np.empty(0, dtype=dtype), name=name)
+        return cls(np.empty(0, dtype=dtype), name=name, tail_sorted=True)
 
     @classmethod
-    def from_pairs(cls, head: np.ndarray, tail: np.ndarray, *, name: str = "") -> "BAT":
+    def from_pairs(
+        cls, head: np.ndarray, tail: np.ndarray, *, name: str = "", tail_sorted: bool = False
+    ) -> "BAT":
         """A BAT with explicit head oids."""
-        return cls(np.asarray(tail), np.asarray(head, dtype=np.int64), name=name)
+        return cls(
+            np.asarray(tail), np.asarray(head, dtype=np.int64), name=name, tail_sorted=tail_sorted
+        )
 
     # -- properties --------------------------------------------------------
 
@@ -112,15 +130,40 @@ class BAT:
         tail becomes the (explicit) head.  The operation is used by the Fig-1
         plan to turn a deletion BAT into an oid lookup structure.
         """
-        return BAT(self.head, np.asarray(self.tail, dtype=np.int64), name=self.name)
+        tail_sorted = self._head is None  # a void head reversed is a dense ascending tail
+        return BAT(
+            self.head, np.asarray(self.tail, dtype=np.int64), name=self.name,
+            tail_sorted=tail_sorted,
+        )
 
     def slice(self, start: int, stop: int) -> "BAT":
-        """Positional slice ``[start, stop)`` preserving head oids."""
+        """Positional slice ``[start, stop)`` preserving head oids (a view)."""
         start = max(0, int(start))
         stop = min(self.count, int(stop))
         if self._head is None:
-            return BAT(self.tail[start:stop], hseqbase=self.hseqbase + start, name=self.name)
-        return BAT(self.tail[start:stop], self._head[start:stop], name=self.name)
+            return BAT(
+                self.tail[start:stop], hseqbase=self.hseqbase + start, name=self.name,
+                tail_sorted=self.tail_sorted,
+            )
+        return BAT(
+            self.tail[start:stop], self._head[start:stop], name=self.name,
+            tail_sorted=self.tail_sorted,
+        )
+
+    def value_slice(
+        self, low: float, high: float, *, include_low: bool = True, include_high: bool = False
+    ) -> "BAT":
+        """The pairs whose tail value falls into the given range, as a view.
+
+        Only valid on a sorted tail (``tail_sorted``): two ``searchsorted``
+        probes find the qualifying run and :meth:`slice` returns it without
+        touching (or copying) the payload.
+        """
+        if not self.tail_sorted:
+            raise ValueError("value_slice requires a sorted tail (tail_sorted=True)")
+        lo = sorted_probe(self.tail, low, side="left" if include_low else "right")
+        hi = sorted_probe(self.tail, high, side="right" if include_high else "left")
+        return self.slice(lo, max(lo, hi))
 
     def take_oids(self, oids: np.ndarray) -> "BAT":
         """Select the pairs whose head oid appears in ``oids`` (order of ``oids``)."""
@@ -142,7 +185,7 @@ class BAT:
         """Concatenate two BATs (explicit heads in the result)."""
         if other.count == 0:
             return BAT(self.tail.copy(), None if self._head is None else self._head.copy(),
-                       hseqbase=self.hseqbase, name=self.name)
+                       hseqbase=self.hseqbase, name=self.name, tail_sorted=self.tail_sorted)
         return BAT.from_pairs(
             np.concatenate([self.head, other.head]),
             np.concatenate([self.tail, other.tail]),
@@ -156,6 +199,7 @@ class BAT:
             None if self._head is None else self._head.copy(),
             hseqbase=self.hseqbase,
             name=self.name,
+            tail_sorted=self.tail_sorted,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,41 @@
+"""Binary-search probes over sorted payloads, without dtype promotion.
+
+``np.searchsorted(int_array, float_probe)`` silently promotes the *whole*
+array to ``float64`` before searching — an O(n) cast that turns a two-probe
+range selection back into a scan.  The paper's simulation columns are int32,
+so the sorted zero-copy kernels route every probe through
+:func:`sorted_probe`, which translates a float probe into an equivalent
+integer probe for integer payloads (an O(log n) search on the original
+array) and falls back to plain ``searchsorted`` otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def sorted_probe(values: np.ndarray, value: float, side: str = "left") -> int:
+    """``np.searchsorted`` for one scalar probe, avoiding integer→float casts.
+
+    ``side="left"`` returns the first index with ``values[i] >= value``;
+    ``side="right"`` the first index with ``values[i] > value`` — identical
+    to ``np.searchsorted`` semantics.
+    """
+    if side not in ("left", "right"):
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+    if np.issubdtype(values.dtype, np.integer) and math.isfinite(value):
+        # Translate the float probe to the equivalent integer probe: the
+        # first integer i with i >= value (left) or i > value (right).
+        if side == "left":
+            target = math.ceil(value)
+        else:
+            target = math.floor(value) + 1
+        info = np.iinfo(values.dtype)
+        if target <= info.min:
+            return 0
+        if target > info.max:
+            return int(values.size)
+        return int(np.searchsorted(values, values.dtype.type(target), side="left"))
+    return int(np.searchsorted(values, value, side=side))

@@ -1,0 +1,74 @@
+"""Unit tests for the standing perf-tracking harness."""
+
+import json
+
+import pytest
+
+from repro.bench.perf_tracking import (
+    PerfSuite,
+    compare_to_baseline,
+    env_scale,
+    load_report,
+    time_per_op,
+)
+
+
+class TestEnvScale:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("PERF_TEST_KNOB", raising=False)
+        assert env_scale("PERF_TEST_KNOB", 42) == 42
+
+    def test_reads_environment(self, monkeypatch):
+        monkeypatch.setenv("PERF_TEST_KNOB", "7")
+        assert env_scale("PERF_TEST_KNOB", 42) == 7
+
+    def test_rejects_non_positive(self, monkeypatch):
+        monkeypatch.setenv("PERF_TEST_KNOB", "0")
+        with pytest.raises(ValueError):
+            env_scale("PERF_TEST_KNOB", 42)
+
+
+class TestTiming:
+    def test_time_per_op_returns_best_and_median(self):
+        timing = time_per_op(lambda: None, number=10, repeat=3)
+        assert 0.0 <= timing["best_s"] <= timing["median_s"]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            time_per_op(lambda: None, number=0)
+
+
+class TestPerfSuite:
+    def test_measure_derive_and_lookup(self):
+        suite = PerfSuite("unit")
+        suite.measure("noop", lambda: None, number=5, repeat=2, rows=10)
+        suite.derive("speedup", 3.5)
+        assert suite["noop"].metadata == {"rows": 10}
+        assert suite["speedup"].value == 3.5
+        with pytest.raises(KeyError):
+            suite["missing"]
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        suite = PerfSuite("unit")
+        suite.measure("noop", lambda: None, number=5, repeat=2)
+        path = suite.write(tmp_path / "BENCH_unit.json")
+        report = load_report(path)
+        assert report["suite"] == "unit"
+        assert report["results"][0]["name"] == "noop"
+        assert "python" in report["environment"]
+        # The file is valid, stable-key JSON (the CI artifact contract).
+        assert json.loads(path.read_text())["suite"] == "unit"
+
+    def test_format_summary_mentions_every_record(self):
+        suite = PerfSuite("unit")
+        suite.measure("noop", lambda: None, number=2, repeat=1)
+        suite.derive("speedup", 2.0)
+        text = suite.format_summary()
+        assert "noop" in text and "speedup" in text
+
+
+class TestCompare:
+    def test_ratios_only_for_shared_records(self):
+        current = {"results": [{"name": "a", "value": 2.0}, {"name": "b", "value": 1.0}]}
+        baseline = {"results": [{"name": "a", "value": 1.0}]}
+        assert compare_to_baseline(current, baseline) == {"a": 2.0}

@@ -40,10 +40,38 @@ class TestMaintenance:
         with pytest.raises(KeyError):
             index.replace(foreign, [foreign])
 
+    def test_replace_rejects_foreign_segment_with_matching_low(self, index):
+        # The bisect lookup must verify identity, not just the low bound.
+        foreign = make_segment(0, 25)
+        with pytest.raises(KeyError):
+            index.replace(foreign, [foreign])
+
     def test_replace_with_empty_list_removes(self, index):
         target = index.segments[0]
         index.replace(target, [])
         assert len(index) == 2
+
+
+class TestOverlappingClassified:
+    def test_contained_vs_partial_classification(self, index):
+        classified = index.overlapping_classified(ValueRange(10, 80))
+        assert [(s.vrange, contained) for s, contained in classified] == [
+            (ValueRange(0, 25), False),
+            (ValueRange(25, 60), True),
+            (ValueRange(60, 100), False),
+        ]
+
+    def test_whole_domain_query_contains_everything(self, index):
+        classified = index.overlapping_classified(ValueRange(0, 100))
+        assert len(classified) == 3
+        assert all(contained for _, contained in classified)
+
+    def test_empty_query_touches_nothing(self, index):
+        assert index.overlapping_classified(ValueRange(50, 50)) == []
+
+    def test_classification_preserves_overlap_order(self, index):
+        classified = index.overlapping_classified(ValueRange(10, 80))
+        assert [s for s, _ in classified] == index.overlapping(ValueRange(10, 80))
 
 
 class TestLookups:

@@ -14,8 +14,14 @@ def segment() -> Segment:
 
 
 class TestSegmentBasics:
-    def test_default_oids_are_positions(self, segment):
-        assert list(segment.oids) == list(range(7))
+    def test_payload_is_value_sorted_with_cosorted_position_oids(self, segment):
+        # The sorted layout keeps values ascending; the default oids are the
+        # original positions, co-sorted so (oid, value) pairs are preserved.
+        assert segment.values.tolist() == sorted([5, 50, 25, 75, 10, 99, 0])
+        assert sorted(segment.oids.tolist()) == list(range(7))
+        original = [5, 50, 25, 75, 10, 99, 0]
+        for oid, value in zip(segment.oids.tolist(), segment.values.tolist()):
+            assert original[oid] == value
 
     def test_count_and_size(self, segment):
         assert segment.count == 7
@@ -93,6 +99,19 @@ class TestSelectAndPartition:
 
     def test_partition_without_interior_points_returns_self(self, segment):
         assert segment.partition([1000]) == [segment]
+
+    def test_partition_and_select_are_zero_copy_views(self, segment):
+        pieces = segment.partition([30, 70])
+        for piece in pieces:
+            assert piece.values.base is segment.values or piece.values.size == 0
+            assert piece.oids.base is segment.oids or piece.oids.size == 0
+        result = segment.select(ValueRange(10, 60))
+        assert result.values.base is segment.values
+
+    def test_select_fully_contained_returns_whole_payload(self, segment):
+        result = segment.select(ValueRange(-10, 1000))
+        assert result.values is segment.values
+        assert result.oids is segment.oids
 
     def test_free_turns_segment_virtual(self, segment):
         count = segment.count

@@ -211,6 +211,12 @@ class TestDatabaseEnableAdaptive:
 
     def test_deprecated_wrappers_still_work(self):
         database = self._database()
-        with pytest.warns(DeprecationWarning):
+        with pytest.warns(DeprecationWarning, match="enable_adaptive_segmentation is deprecated"):
             handle = database.enable_adaptive_segmentation("p", "ra")
         assert handle.strategy == "segmentation"
+
+    def test_deprecated_replication_wrapper_warns(self):
+        database = self._database()
+        with pytest.warns(DeprecationWarning, match="enable_adaptive_replication is deprecated"):
+            handle = database.enable_adaptive_replication("p", "ra")
+        assert handle.strategy == "replication"

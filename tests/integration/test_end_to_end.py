@@ -6,6 +6,8 @@ behaviour, checking the qualitative claims of the evaluation section rather
 than individual modules.
 """
 
+import statistics
+
 import numpy as np
 import pytest
 
@@ -111,12 +113,14 @@ class TestEngineScenario:
         # Steady-state selection work is below the full-scan baseline.  Both
         # sides exclude plan compilation (the paper's Figure 10 splits server
         # execution into selection vs adaptation only; the segment-aware plans
-        # are a little costlier to compile, which is noise here).
+        # are a little costlier to compile, which is noise here).  Medians,
+        # not sums: a single GC pause or scheduler blip on a loaded machine
+        # must not decide a wall-clock comparison.
         tail = len(baseline_results) // 2
-        baseline_tail = sum(
+        baseline_tail = statistics.median(
             r.total_seconds - r.optimizer_seconds for r in baseline_results[tail:]
         )
-        adaptive_tail_selection = sum(
+        adaptive_tail_selection = statistics.median(
             r.total_seconds - r.adaptation_seconds - r.optimizer_seconds
             for r in adaptive_results[tail:]
         )

@@ -1,0 +1,79 @@
+"""Byte-accounting regression pin for the Figure 5-7 simulation grid.
+
+The sorted zero-copy segment layer must not change what the paper's figures
+measure: per-query read/write *logical* bytes, result counts and segment
+counts.  ``tests/data/fig5_7_accounting_fixture.json`` was captured from the
+pre-zero-copy implementation (PR 1 tree) on a reduced grid; this test re-runs
+the identical grid and requires every per-combination total **and** the
+SHA-256 of the full per-query series to match bit for bit.
+
+If a future change legitimately alters the accounting (it shouldn't — the
+accountants count ``count * value_width``), regenerate the fixture in the
+same commit and call the change out in CHANGES.md.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.simulation.runner import run_grid
+from repro.workloads.generators import make_column, uniform_workload, zipf_workload
+
+FIXTURE_PATH = Path(__file__).resolve().parent.parent / "data" / "fig5_7_accounting_fixture.json"
+
+
+@pytest.fixture(scope="module")
+def fixture() -> dict:
+    return json.loads(FIXTURE_PATH.read_text(encoding="utf-8"))
+
+
+def _series_digest(log) -> str:
+    digest = hashlib.sha256()
+    digest.update(np.asarray(log.series("reads_bytes"), dtype=np.float64).tobytes())
+    digest.update(np.asarray(log.series("writes_bytes"), dtype=np.float64).tobytes())
+    digest.update(np.asarray(log.series("result_count"), dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+@pytest.mark.parametrize("workload_key", ["uniform_s0.1", "zipf_s0.01"])
+def test_grid_accounting_matches_pre_zero_copy_fixture(fixture, workload_key):
+    domain = tuple(fixture["domain"])
+    n_queries = fixture["n_queries"]
+    selectivity = 0.1 if workload_key == "uniform_s0.1" else 0.01
+    if workload_key == "uniform_s0.1":
+        workload = uniform_workload(n_queries, domain, selectivity,
+                                    seed=fixture["workload_seed"])
+    else:
+        workload = zipf_workload(n_queries, domain, selectivity,
+                                 seed=fixture["workload_seed"])
+    values = make_column(fixture["column_size"], int(domain[1]), seed=fixture["column_seed"])
+    results = run_grid(
+        workload,
+        values=values,
+        column_size=fixture["column_size"],
+        domain_size=int(domain[1]),
+        m_min=fixture["m_min"],
+        m_max=fixture["m_max"],
+        include_baseline=True,
+        seed=fixture["grid_seed"],
+    )
+    expected = fixture["grid"][workload_key]
+    assert set(results) == set(expected)
+    for label, result in results.items():
+        pinned = expected[label]
+        reads = sum(result.log.series("reads_bytes"))
+        writes = sum(result.log.series("writes_bytes"))
+        counts = sum(result.log.series("result_count"))
+        assert reads == pinned["total_reads_bytes"], f"{label}: reads drifted"
+        assert writes == pinned["total_writes_bytes"], f"{label}: writes drifted"
+        assert counts == pinned["total_result_count"], f"{label}: result counts drifted"
+        assert result.log.records[-1].segment_count == pinned["final_segment_count"]
+        assert _series_digest(result.log) == pinned["series_sha256"], (
+            f"{label}: per-query accounting series drifted from the "
+            "pre-zero-copy implementation"
+        )

@@ -1,0 +1,61 @@
+"""``run_grid(workers=N)`` must be byte-identical to the serial path."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.simulation.runner import STRATEGY_MODEL_GRID, run_grid
+from repro.workloads.generators import make_column, uniform_workload
+
+DOMAIN = (0.0, 100_000.0)
+COLUMN_SIZE = 8_000
+N_QUERIES = 80
+
+
+def _run(workers=None):
+    workload = uniform_workload(N_QUERIES, DOMAIN, 0.05, seed=11)
+    values = make_column(COLUMN_SIZE, int(DOMAIN[1]), seed=3)
+    return run_grid(
+        workload,
+        values=values,
+        column_size=COLUMN_SIZE,
+        domain_size=int(DOMAIN[1]),
+        include_baseline=True,
+        seed=5,
+        workers=workers,
+    )
+
+
+def _assert_identical(serial, parallel):
+    assert list(serial) == list(parallel)  # same labels, same order
+    for label in serial:
+        left, right = serial[label], parallel[label]
+        assert left.strategy == right.strategy
+        assert left.model == right.model
+        assert left.workload == right.workload
+        assert left.column_bytes == right.column_bytes
+        assert left.metadata == right.metadata
+        assert len(left.log) == len(right.log)
+        for mine, theirs in zip(left.log, right.log):
+            # QueryStats is a dataclass: field-wise equality covers every
+            # counter (reads/writes bytes, counts, splits, drops, ...).
+            assert dataclasses.asdict(mine) == dataclasses.asdict(theirs), (
+                f"{label}: per-query stats diverge between serial and parallel runs"
+            )
+
+
+def test_parallel_grid_is_byte_identical_to_serial():
+    serial = _run(workers=None)
+    parallel = _run(workers=4)
+    _assert_identical(serial, parallel)
+
+
+def test_workers_one_takes_the_serial_path():
+    serial = _run(workers=None)
+    one = _run(workers=1)
+    _assert_identical(serial, one)
+
+
+def test_grid_covers_all_paper_combinations():
+    results = _run(workers=2)
+    assert len(results) == len(STRATEGY_MODEL_GRID) + 1  # + NoSegm baseline
