@@ -1,0 +1,118 @@
+"""Compare a fresh ``BENCH_*.json`` report against a committed baseline.
+
+The crash-if-slower gate of the CI bench job, also runnable locally::
+
+    PYTHONPATH=src python benchmarks/bench_perf_suite.py
+    PYTHONPATH=src python benchmarks/compare_bench.py \
+        --baseline /tmp/bench_baseline.json --current BENCH_segment_kernels.json \
+        --metric engine_per_query_warm --max-ratio 2.0
+
+For every ``--metric NAME [--max-ratio X]`` pair the gate fails (exit 1) when
+``current / baseline > X`` — i.e. the current run is more than X times slower
+than the committed report.  Seconds-unit metrics present in both reports are
+always printed for context.  A gated metric missing from the *baseline* is a
+warning, not a failure (the metric was introduced after the baseline was
+committed); missing from the *current* report it is a failure (the suite
+stopped measuring something it gates on).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.perf_tracking import compare_to_baseline, load_report  # noqa: E402
+
+DEFAULT_REPORT = REPO_ROOT / "BENCH_segment_kernels.json"
+DEFAULT_METRIC = "engine_per_query_warm"
+DEFAULT_MAX_RATIO = 2.0
+
+
+def _values_by_name(report: dict) -> dict[str, dict]:
+    return {record["name"]: record for record in report.get("results", [])}
+
+
+def check(
+    baseline: dict,
+    current: dict,
+    gates: list[tuple[str, float]],
+) -> tuple[list[str], list[str]]:
+    """Evaluate the gates; returns ``(failures, warnings)``."""
+    baseline_records = _values_by_name(baseline)
+    current_records = _values_by_name(current)
+    failures: list[str] = []
+    warnings: list[str] = []
+    for metric, max_ratio in gates:
+        if metric not in current_records:
+            failures.append(f"{metric}: missing from the current report")
+            continue
+        if metric not in baseline_records:
+            warnings.append(f"{metric}: not in the baseline yet (skipping the gate)")
+            continue
+        baseline_value = baseline_records[metric]["value"]
+        if not baseline_value:
+            warnings.append(f"{metric}: baseline value is zero (skipping the gate)")
+            continue
+        ratio = current_records[metric]["value"] / baseline_value
+        if ratio > max_ratio:
+            failures.append(
+                f"{metric}: {ratio:.2f}x the committed baseline "
+                f"(limit {max_ratio:.2f}x; "
+                f"{baseline_value * 1e6:.1f} µs -> "
+                f"{current_records[metric]['value'] * 1e6:.1f} µs)"
+            )
+    return failures, warnings
+
+
+def format_table(baseline: dict, current: dict) -> str:
+    """All shared timing metrics as ``name ratio`` lines (ratio >1 = slower)."""
+    ratios = compare_to_baseline(current, baseline)
+    units = {record["name"]: record.get("unit", "") for record in current.get("results", [])}
+    lines = ["== current / baseline =="]
+    width = max((len(name) for name in ratios), default=4)
+    for name, ratio in sorted(ratios.items()):
+        marker = "" if units.get(name) != "s" else ("  <-- slower" if ratio > 1.25 else "")
+        lines.append(f"  {name:<{width}s} {ratio:8.3f}x{marker}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed BENCH_*.json to compare against")
+    parser.add_argument("--current", type=Path, default=DEFAULT_REPORT,
+                        help=f"freshly written report (default: {DEFAULT_REPORT.name})")
+    parser.add_argument("--metric", action="append", default=None,
+                        help=f"metric name to gate on (default: {DEFAULT_METRIC})")
+    parser.add_argument("--max-ratio", type=float, action="append", default=None,
+                        help="failure threshold for the corresponding --metric "
+                             f"(default: {DEFAULT_MAX_RATIO})")
+    args = parser.parse_args(argv)
+
+    metrics = args.metric if args.metric else [DEFAULT_METRIC]
+    ratios = list(args.max_ratio or [])
+    if len(ratios) < len(metrics):
+        ratios.extend([DEFAULT_MAX_RATIO] * (len(metrics) - len(ratios)))
+    gates = list(zip(metrics, ratios))
+
+    baseline = load_report(args.baseline)
+    current = load_report(args.current)
+    print(format_table(baseline, current))
+    failures, warnings = check(baseline, current, gates)
+    for message in warnings:
+        print(f"[warn] {message}")
+    if failures:
+        for message in failures:
+            print(f"[FAIL] {message}")
+        return 1
+    gated = ", ".join(f"{metric} <= {ratio:g}x" for metric, ratio in gates)
+    print(f"[ok] perf gate passed ({gated})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -190,7 +190,23 @@ class AdaptivePageModel(SegmentationModel):
     # -- rule helpers ------------------------------------------------------
 
     def _piece_sizes(self, segment: SegmentLike, points: list[float]) -> list[float]:
-        return [segment.estimate_bytes(sub) for sub in segment.vrange.split_at(points)]
+        """Estimated bytes of each piece a split at ``points`` would produce.
+
+        Equivalent to ``[segment.estimate_bytes(sub) for sub in
+        segment.vrange.split_at(points)]`` but computed from the edge list
+        directly — no sub-range objects, and bit-identical arithmetic (the
+        value width is a power of two, so the scale factor commutes exactly).
+        """
+        vrange = segment.vrange
+        width = vrange.high - vrange.low
+        cuts = vrange.interior_points(points)
+        if width <= 0.0:
+            return [0.0] * (len(cuts) + 1)
+        size = segment.size_bytes
+        edges = [vrange.low, *cuts, vrange.high]
+        return [
+            size * ((high - low) / width) for low, high in zip(edges[:-1], edges[1:])
+        ]
 
     def _single_point(self, query: ValueRange, segment: SegmentLike, points: list[float]) -> float:
         """Rule 3: pick one split point among the query bounds or the middle.

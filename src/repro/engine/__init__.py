@@ -10,15 +10,25 @@ SQL front-end".
 
 from repro.engine.database import Database
 from repro.engine.execution import ExecutionContext
-from repro.engine.plan_cache import PlanCache, PlanCacheStats, normalize_sql
+from repro.engine.plan_cache import (
+    BoundPlan,
+    CachedPlan,
+    PlanCache,
+    PlanCacheStats,
+    normalize_sql,
+)
+from repro.engine.profile import QueryProfile
 from repro.engine.result import QueryResult
 from repro.engine.session import Session
 
 __all__ = [
+    "BoundPlan",
+    "CachedPlan",
     "Database",
     "ExecutionContext",
     "PlanCache",
     "PlanCacheStats",
+    "QueryProfile",
     "QueryResult",
     "Session",
     "normalize_sql",

@@ -11,8 +11,16 @@ import numpy as np
 from repro.core.accounting import QueryStats
 from repro.core.models import SegmentationModel, model_from_name
 from repro.engine.execution import ExecutionContext
-from repro.engine.plan_cache import PlanCache, normalize_sql
+from repro.engine.plan_cache import (
+    BoundPlan,
+    CachedPlan,
+    PlanCache,
+    TextShapePlan,
+    normalize_sql,
+)
+from repro.engine.profile import QueryProfile
 from repro.engine.result import QueryResult
+from repro.mal.compiled import compile_program
 from repro.mal.interpreter import Interpreter
 from repro.mal.modules import default_registry
 from repro.mal.program import MALProgram
@@ -22,6 +30,7 @@ from repro.optimizer.rules import merge_duplicate_binds, remove_dead_code
 from repro.optimizer.segment_optimizer import SegmentOptimizer
 from repro.sql.ast import ComparisonPredicate, SelectStatement
 from repro.sql.compiler import SQLCompiler
+from repro.sql.parameters import mask_literals, parameterize, range_parameter_checks
 from repro.sql.parser import parse
 from repro.storage.catalog import Catalog
 from repro.util.units import KB
@@ -39,9 +48,13 @@ class Database:
                            m_min=1 * MB, m_max=5 * MB)
         result = db.execute("SELECT objid FROM p WHERE ra BETWEEN 205.1 AND 205.12")
 
-    Optimized plans are memoized in an LRU plan cache keyed by normalized SQL
-    (parse/compile/optimize are skipped on a hit); ``execute_many`` batches
-    same-column range selections into one shared scan.
+    Queries run through a compiled fast path: range literals are lifted into
+    parameters so the LRU plan cache keys on query *shape* (plus an exact-text
+    first level), and each shape is lowered once into a slot-based
+    :class:`~repro.mal.compiled.CompiledPlan` — on a warm query only the parse
+    and the plan execution itself remain.  Execution contexts are pooled, and
+    every :class:`QueryResult` carries a per-stage :class:`QueryProfile`.
+    ``execute_many`` batches same-column range selections into one shared scan.
     """
 
     def __init__(self, *, plan_cache_size: int = 128) -> None:
@@ -57,6 +70,7 @@ class Database:
         self.interpreter = Interpreter(self.registry)
         self.plan_cache = PlanCache(plan_cache_size)
         self.query_history: list[QueryResult] = []
+        self._context_pool: list[ExecutionContext] = []
 
     # -- schema and data -----------------------------------------------------
 
@@ -197,38 +211,102 @@ class Database:
         """The optimized MAL plan in concrete syntax (like ``EXPLAIN``)."""
         return self.optimizer.optimize(self.compile(sql)).render()
 
-    def _plan_for(self, sql: str) -> tuple[MALProgram, bool]:
-        """The optimized plan for ``sql``: cached when possible.
+    def _prepare(self, sql: str, profile: QueryProfile) -> tuple[BoundPlan, bool]:
+        """The executable plan and parameter values for ``sql``.
 
-        Returns ``(plan, cache_hit)``.  Plans are safe to re-run: per-query
-        state lives in the :class:`ExecutionContext`, and the cache is cleared
-        whenever the schema or an adaptive registration changes.
+        Three cache levels share one LRU store, fastest first: the exact
+        normalized text (skips everything), the literal-masked text (skips
+        the parse — the common warm case for workloads that vary only their
+        range constants), and the parsed query *shape* (skips
+        compile/optimize/lowering).  Returns ``(bound_plan, cache_hit)``;
+        ``profile`` receives the per-stage timings of whatever work actually
+        ran.  Plans are safe to re-run: per-query state lives in the
+        :class:`ExecutionContext`, and the cache is cleared whenever the
+        schema or an adaptive registration changes.
         """
-        key = normalize_sql(sql)
-        plan = self.plan_cache.get(key)
-        if plan is not None:
-            return plan, True
-        plan = self.optimizer.optimize(self.compile(sql))
-        self.plan_cache.put(key, plan)
-        return plan, False
+        normalized = normalize_sql(sql)
+        text_key = ("sql", normalized)
+        bound = self.plan_cache.get(text_key)
+        if bound is not None:
+            return bound, True
+
+        started = time.perf_counter()
+        masked, literals = mask_literals(normalized)
+        fast = self.plan_cache.get(("text-shape", masked))
+        if (
+            fast is not None
+            and len(literals) == fast.parameter_count
+            and all(literals[low] <= literals[high] for low, high in fast.range_checks)
+        ):
+            arguments = {f"__p{index}": value for index, value in enumerate(literals)}
+            profile.parse_seconds = time.perf_counter() - started
+            # No text-level install here: re-reaching this entry costs one
+            # masked lookup, and not churning the LRU with every literal
+            # variant keeps the durable shape entries resident.
+            return BoundPlan(plan=fast.plan, arguments=arguments), True
+
+        shaped = parameterize(parse(sql))
+        profile.parse_seconds = time.perf_counter() - started
+
+        shape_key = ("shape", shaped.shape)
+        plan = self.plan_cache.get(shape_key)
+        cache_hit = plan is not None
+        if plan is None:
+            started = time.perf_counter()
+            program = self.compiler.compile(shaped.statement)
+            codegen_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            optimized = self.optimizer.optimize(program)
+            profile.optimize_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            compiled = compile_program(optimized, self.registry)
+            profile.compile_seconds = codegen_seconds + time.perf_counter() - started
+            plan = CachedPlan(compiled=compiled, text=optimized.render())
+            self.plan_cache.put(shape_key, plan)
+        if shaped.statement.limit is None and len(literals) == len(shaped.arguments):
+            # Every textual literal is a parameter: the masked text alone
+            # identifies this shape, so future literal variants skip the parse.
+            self.plan_cache.put(
+                ("text-shape", masked),
+                TextShapePlan(
+                    plan=plan,
+                    parameter_count=len(literals),
+                    range_checks=range_parameter_checks(shaped.statement),
+                ),
+            )
+        bound = BoundPlan(plan=plan, arguments=shaped.arguments)
+        self.plan_cache.put(text_key, bound)
+        return bound, cache_hit
 
     def execute(self, sql: str) -> QueryResult:
-        """Parse, compile, optimize (or fetch the cached plan) and run a query."""
-        total_started = time.perf_counter()
-        optimizer_started = time.perf_counter()
-        optimized, cache_hit = self._plan_for(sql)
-        optimizer_seconds = time.perf_counter() - optimizer_started
+        """Run a query through the compiled fast path.
 
-        context = ExecutionContext(catalog=self.catalog)
+        Cold: parse → compile → optimize → lower to a :class:`CompiledPlan`,
+        cache by shape and text.  Warm: fetch the compiled plan, bind this
+        query's range parameters into its slot environment and execute — no
+        recompilation, no name resolution, pooled execution context.
+        """
+        total_started = time.perf_counter()
+        profile = QueryProfile()
+        bound, cache_hit = self._prepare(sql, profile)
+        optimizer_seconds = time.perf_counter() - total_started
+        profile.cold = not cache_hit
+
+        compiled = bound.plan.compiled
+        context = self._acquire_context()
         adaptive_before = self._adaptive_counters()
-        self.interpreter.run(optimized, context)
+        counters = compiled.new_counters()
+        execute_started = time.perf_counter()
+        compiled.execute(context, bound.arguments, counters)
+        profile.execute_seconds = time.perf_counter() - execute_started
         selection_seconds, adaptation_seconds = self._adaptive_delta(adaptive_before)
+        profile.attach_counters(compiled, counters)
 
         result = QueryResult(
             sql=sql,
             columns=context.exported_columns(),
             scalars=dict(context.scalars),
-            plan_text=optimized.render(),
+            plan_text=bound.plan.text,
             total_seconds=time.perf_counter() - total_started,
             selection_seconds=selection_seconds,
             adaptation_seconds=adaptation_seconds,
@@ -236,9 +314,25 @@ class Database:
             plan_cache_hit=cache_hit,
             plan_cache_hits=self.plan_cache.hits,
             plan_cache_misses=self.plan_cache.misses,
+            profile=profile,
         )
+        self._release_context(context)
         self.query_history.append(result)
         return result
+
+    # -- execution-context pooling ---------------------------------------------
+
+    def _acquire_context(self) -> ExecutionContext:
+        """A reset execution context from the pool (or a fresh one)."""
+        if self._context_pool:
+            return self._context_pool.pop()
+        return ExecutionContext(catalog=self.catalog)
+
+    def _release_context(self, context: ExecutionContext) -> None:
+        """Return a context to the pool once its outputs have been copied out."""
+        if len(self._context_pool) < 4:
+            context.reset()
+            self._context_pool.append(context)
 
     # -- batched execution ---------------------------------------------------------------
 
@@ -433,7 +527,7 @@ class Database:
     def _adaptive_counters(self) -> dict[tuple[str, str], int]:
         """Number of recorded queries per adaptive column (to detect activity)."""
         counters = {}
-        for handle in self.bpm.handles():
+        for handle in self.bpm.iter_handles():
             history = handle.adaptive.history
             counters[(handle.table, handle.column)] = len(history) if history else 0
         return counters
@@ -442,12 +536,12 @@ class Database:
         """Selection/adaptation seconds spent by adaptive columns in this query."""
         selection = 0.0
         adaptation = 0.0
-        for handle in self.bpm.handles():
+        for handle in self.bpm.iter_handles():
             history = handle.adaptive.history
             if history is None:
                 continue
             start = before.get((handle.table, handle.column), 0)
-            for stats in list(history)[start:]:
+            for stats in history[start:]:
                 selection += stats.selection_seconds
                 adaptation += stats.adaptation_seconds
         return selection, adaptation

@@ -1,33 +1,74 @@
-"""An LRU cache of optimized MAL plans keyed by normalized SQL text.
+"""An LRU cache of compiled plans, keyed by query shape and by SQL text.
 
-Parsing, compiling and optimizing a statement is pure per-statement work that
-the hot query path repeats on every execution.  The cache short-circuits it:
-on a hit the stored optimized :class:`~repro.mal.program.MALProgram` is
-re-interpreted directly (plans are immutable once optimized; per-query state
-lives in the :class:`~repro.engine.execution.ExecutionContext`).
+Parsing, compiling, optimizing and lowering a statement is pure per-statement
+work that the hot query path would otherwise repeat on every execution.  The
+database short-circuits it with two key levels sharing one LRU store:
+
+* ``("shape", shape)`` → :class:`CachedPlan` — the specialized
+  :class:`~repro.mal.compiled.CompiledPlan` for one query *shape* (the
+  statement with its range literals lifted into parameters by
+  :func:`repro.sql.parameters.parameterize`).  All queries that differ only in
+  their constants — the common case for the paper's Fig 5–7 workloads — share
+  this entry; only a parse is needed to reach it.
+* ``("sql", normalized_text)`` → :class:`BoundPlan` — the shape's plan plus
+  the pre-extracted parameter values for one exact statement text, so
+  repeating the identical query skips even the parse.
 
 Plans depend on the catalog schema and on which columns the BPM manages (the
 segment optimizer rewrites selections on managed columns), so the database
 clears the cache whenever either changes.  Data changes (inserts, deletes)
-do *not* invalidate: ``sql.bind`` resolves BATs at execution time.
+do *not* invalidate: ``sql.bind`` resolves BATs at execution time, and
+compiled plans hold pre-resolved module callables, not data.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Any, Hashable
 
-from repro.mal.program import MALProgram
+from repro.mal.compiled import CompiledPlan
 
 
 def normalize_sql(sql: str) -> str:
-    """The cache key for a statement: whitespace-collapsed, case-folded.
+    """The text-level cache key for a statement: whitespace-collapsed, case-folded.
 
     The supported SQL subset has no string literals, so case-folding the whole
     statement is safe and makes ``SELECT X FROM T`` and ``select x from t``
     share one plan.
     """
     return " ".join(sql.split()).lower()
+
+
+@dataclass(frozen=True)
+class CachedPlan:
+    """One query shape's executable plan plus its pre-rendered text."""
+
+    compiled: CompiledPlan
+    text: str
+
+
+@dataclass(frozen=True)
+class BoundPlan:
+    """A cached plan bound to one statement's parameter values."""
+
+    plan: CachedPlan
+    arguments: dict[str, float]
+
+
+@dataclass(frozen=True)
+class TextShapePlan:
+    """A plan reachable by masked SQL text alone (the parse-free fast path).
+
+    ``parameter_count`` guards against masked-text collisions (it always
+    equals the number of ``?`` in the key for installed entries, so texts
+    containing literal ``?`` can never match); ``range_checks`` re-applies the
+    ``high >= low`` validation the skipped parser would have performed.
+    """
+
+    plan: CachedPlan
+    parameter_count: int
+    range_checks: tuple[tuple[int, int], ...]
 
 
 @dataclass(frozen=True)
@@ -49,13 +90,13 @@ class PlanCacheStats:
 
 
 class PlanCache:
-    """A bounded LRU mapping from normalized SQL to optimized MAL plans."""
+    """A bounded LRU mapping from hashable keys to cached plan entries."""
 
     def __init__(self, capacity: int = 128) -> None:
         if capacity <= 0:
             raise ValueError(f"plan cache capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self._plans: OrderedDict[str, MALProgram] = OrderedDict()
+        self._plans: OrderedDict[Hashable, Any] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -64,8 +105,8 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._plans)
 
-    def get(self, key: str) -> MALProgram | None:
-        """The cached plan for ``key``, refreshing its recency; counts hit/miss."""
+    def get(self, key: Hashable) -> Any | None:
+        """The cached entry for ``key``, refreshing its recency; counts hit/miss."""
         plan = self._plans.get(key)
         if plan is None:
             self.misses += 1
@@ -74,8 +115,8 @@ class PlanCache:
         self.hits += 1
         return plan
 
-    def put(self, key: str, plan: MALProgram) -> None:
-        """Store a plan, evicting the least recently used entry when full."""
+    def put(self, key: Hashable, plan: Any) -> None:
+        """Store an entry, evicting the least recently used one when full."""
         self._plans[key] = plan
         self._plans.move_to_end(key)
         while len(self._plans) > self.capacity:

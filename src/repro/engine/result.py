@@ -6,8 +6,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.engine.profile import QueryProfile
 
-@dataclass
+
+@dataclass(slots=True)
 class QueryResult:
     """The outcome of one SQL query.
 
@@ -17,10 +19,13 @@ class QueryResult:
     plain query processing from the work spent adapting the storage layout,
     which is the split Figure 10 of the paper reports.
 
-    ``plan_cache_hit`` records whether the optimized plan was served from the
-    database's plan cache (``plan_cache_hits``/``plan_cache_misses`` are the
-    cache's cumulative counters at the time this query finished); ``batched``
-    marks results answered by the shared-scan path of ``execute_many``.
+    ``plan_cache_hit`` records whether the plan was served from the database's
+    plan cache — by exact text or by query shape (``plan_cache_hits``/
+    ``plan_cache_misses`` are the cache's cumulative counters at the time this
+    query finished); ``batched`` marks results answered by the shared-scan
+    path of ``execute_many``.  ``profile`` carries the per-stage wall-clock
+    split and per-opcode execution counters (``None`` on the batched path,
+    which bypasses plan execution entirely).
     """
 
     sql: str
@@ -35,6 +40,7 @@ class QueryResult:
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
     batched: bool = False
+    profile: QueryProfile | None = None
 
     @property
     def row_count(self) -> int:

@@ -8,12 +8,14 @@ the Figure-1 plan from SQL, run it, and let the segment optimizer rewrite it
 into the segment-aware iterator form of §3.1.
 """
 
-from repro.mal.program import Const, Instruction, MALProgram, Var
+from repro.mal.program import Const, Instruction, MALProgram, MALRuntimeError, Var
 from repro.mal.builder import ProgramBuilder
-from repro.mal.interpreter import Interpreter, MALRuntimeError
+from repro.mal.compiled import CompiledPlan, compile_program
+from repro.mal.interpreter import Interpreter
 from repro.mal.modules import ModuleRegistry, default_registry
 
 __all__ = [
+    "CompiledPlan",
     "Const",
     "Instruction",
     "MALProgram",
@@ -22,5 +24,6 @@ __all__ = [
     "Interpreter",
     "MALRuntimeError",
     "ModuleRegistry",
+    "compile_program",
     "default_registry",
 ]

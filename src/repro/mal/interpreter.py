@@ -20,12 +20,12 @@ from repro.mal.program import (
     Const,
     Instruction,
     MALProgram,
+    MALRuntimeError,
     Var,
+    match_blocks,
 )
 
-
-class MALRuntimeError(RuntimeError):
-    """Raised when a program references unknown variables or functions."""
+__all__ = ["Interpreter", "MALRuntimeError"]
 
 
 class Interpreter:
@@ -46,7 +46,7 @@ class Interpreter:
         """Execute the program; returns the final variable environment."""
         variables: dict[str, Any] = dict(arguments or {})
         context.variables = variables
-        blocks = self._match_blocks(program)
+        blocks = program.matched_blocks()
         pc = 0
         steps = 0
         instructions = program.instructions
@@ -123,28 +123,9 @@ class Interpreter:
 
     @staticmethod
     def _match_blocks(program: MALProgram) -> dict[int, tuple[int, int]]:
-        """Map barrier/redo instruction indices to (barrier_index, exit_index)."""
-        blocks: dict[int, tuple[int, int]] = {}
-        open_barriers: dict[str, int] = {}
-        pending: dict[str, list[int]] = {}
-        for index, instruction in enumerate(program.instructions):
-            name = instruction.target
-            if instruction.opcode == OPCODE_BARRIER:
-                if name in open_barriers:
-                    raise MALRuntimeError(f"nested barrier on the same variable {name!r}")
-                open_barriers[name] = index
-                pending[name] = [index]
-            elif instruction.opcode == OPCODE_REDO:
-                if name not in open_barriers:
-                    raise MALRuntimeError(f"redo outside of a barrier block: {name!r}")
-                pending[name].append(index)
-            elif instruction.opcode == OPCODE_EXIT:
-                if name not in open_barriers:
-                    raise MALRuntimeError(f"exit without a matching barrier: {name!r}")
-                barrier_index = open_barriers.pop(name)
-                for member in pending.pop(name):
-                    blocks[member] = (barrier_index, index)
-        if open_barriers:
-            unmatched = ", ".join(sorted(open_barriers))
-            raise MALRuntimeError(f"barrier blocks without exit: {unmatched}")
-        return blocks
+        """Map barrier/redo instruction indices to (barrier_index, exit_index).
+
+        Kept as a compatibility shim; the matching itself lives in
+        :func:`repro.mal.program.match_blocks` and is cached per program.
+        """
+        return match_blocks(program.instructions)

@@ -39,8 +39,12 @@ def select(bat: BAT, low: float, high: float, *, include_low: bool = True, inclu
 
     Sorted tails (``tail_sorted`` — e.g. the pieces the BPM hands to
     rewritten plans) are answered by binary-search slicing, returning views
-    without comparing a single tail value.
+    without comparing a single tail value.  An empty operand (the usual state
+    of the delta BATs) is passed through unchanged — nothing qualifies and
+    operators never mutate their inputs.
     """
+    if bat.tail.size == 0:
+        return bat
     if bat.tail_sorted:
         return bat.value_slice(low, high, include_low=include_low, include_high=include_high)
     tail = bat.tail
@@ -59,7 +63,17 @@ def uselect(
 ) -> BAT:
     """A candidate list: the head oids whose tail value qualifies."""
     qualifying = select(bat, low, high, include_low=include_low, include_high=include_high)
+    if qualifying.tail.size == 0:
+        return _EMPTY_CANDIDATES
     return BAT.from_pairs(qualifying.head, qualifying.head, name=bat.name)
+
+
+#: The empty candidate list every empty-range ``uselect`` shares (operators
+#: materialize fresh BATs but never mutate existing ones, so one immutable
+#: empty instance is safe to hand out repeatedly).
+_EMPTY_CANDIDATES = BAT.from_pairs(
+    np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), tail_sorted=True
+)
 
 
 def thetaselect(bat: BAT, value: float, operator: str) -> BAT:
@@ -161,6 +175,11 @@ def join(left: BAT, right: BAT) -> BAT:
     left_keys = np.asarray(left.tail, dtype=np.int64)
     if right.is_void_head:
         positions = left_keys - right.hseqbase
+        if positions.min() >= 0 and positions.max() < right.count:
+            # Every key resolves (the usual case: candidate oids come from the
+            # very column being reconstructed) — gather without building and
+            # applying a validity mask.
+            return BAT.from_pairs(left.head, right.tail[positions], name=right.name)
         valid = (positions >= 0) & (positions < right.count)
         return BAT.from_pairs(left.head[valid], right.tail[positions[valid]], name=right.name)
     order = np.argsort(right.head, kind="stable")

@@ -23,6 +23,7 @@ downstream plan shape matches the paper's §3.1 snippet.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 from typing import Any
@@ -139,6 +140,10 @@ class BatPartitionManager:
         """All registered adaptive columns."""
         return list(self._handles.values())
 
+    def iter_handles(self):
+        """A view over the registered handles (no list built — hot path)."""
+        return self._handles.values()
+
     def is_managed(self, table: str, column: str) -> bool:
         """True when the column is managed by the BPM."""
         return (table, column) in self._handles
@@ -190,6 +195,9 @@ class BatPartitionManager:
     def _mal_result(ctx, accumulator: list[BAT]) -> BAT:
         if not accumulator:
             return BAT.from_pairs(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        if len(accumulator) == 1:
+            # The common converged case: one qualifying piece, no copy.
+            return accumulator[0]
         heads = np.concatenate([piece.head for piece in accumulator])
         tails = np.concatenate([piece.tail for piece in accumulator])
         return BAT.from_pairs(heads, tails)
@@ -242,14 +250,23 @@ class BatPartitionManager:
         include_low: bool,
         include_high: bool,
     ) -> tuple[float, float]:
-        """Translate SQL bound semantics into the core's half-open ranges."""
+        """Translate SQL bound semantics into the core's half-open ranges.
+
+        Scalar ``math`` predicates throughout — this runs once per query on
+        the hot path, and ``math.nextafter`` is bit-identical to numpy's for
+        float64 operands.
+        """
         domain = adaptive.domain
-        effective_low = max(float(low), domain.low) if np.isfinite(low) else domain.low
-        effective_high = min(float(high), domain.high) if np.isfinite(high) else domain.high
-        if not include_low and np.isfinite(low):
-            effective_low = float(np.nextafter(effective_low, np.inf))
-        if include_high and np.isfinite(high):
-            effective_high = float(np.nextafter(effective_high, np.inf))
+        low = float(low)
+        high = float(high)
+        low_finite = math.isfinite(low)
+        high_finite = math.isfinite(high)
+        effective_low = max(low, domain.low) if low_finite else domain.low
+        effective_high = min(high, domain.high) if high_finite else domain.high
+        if not include_low and low_finite:
+            effective_low = math.nextafter(effective_low, math.inf)
+        if include_high and high_finite:
+            effective_high = math.nextafter(effective_high, math.inf)
         effective_high = min(effective_high, domain.high)
         effective_low = max(min(effective_low, effective_high), domain.low)
         return effective_low, effective_high

@@ -18,8 +18,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.mal.builder import ProgramBuilder
-from repro.mal.program import Const, MALProgram
+from repro.mal.program import Const, MALProgram, Var
 from repro.sql.ast import Aggregate, ComparisonPredicate, RangePredicate, SelectStatement
+from repro.sql.parameters import Parameter, parameter_names
 from repro.storage.catalog import Catalog
 
 #: Schema name used in generated ``sql.bind`` calls (MonetDB's default).
@@ -37,10 +38,18 @@ class SQLCompiler:
     # -- public API ---------------------------------------------------------
 
     def compile(self, statement: SelectStatement) -> MALProgram:
-        """Compile one statement into a MAL program."""
+        """Compile one statement into a MAL program.
+
+        Statements whose literals were lifted by
+        :func:`repro.sql.parameters.parameterize` compile into parameterized
+        programs: the bounds become MAL variable references and the parameter
+        names are recorded on the program, to be supplied at run time.
+        """
         schema = self.catalog.schema(statement.table)  # validates the table
         self._statement_counter += 1
-        builder = ProgramBuilder(name=f"s{self._statement_counter}_0")
+        builder = ProgramBuilder(
+            name=f"s{self._statement_counter}_0", parameters=parameter_names(statement)
+        )
 
         candidate = self._compile_predicates(builder, statement)
         columns = self._projected_columns(statement)
@@ -115,8 +124,8 @@ class SQLCompiler:
                 "algebra",
                 "uselect",
                 builder.var(source),
-                Const(low),
-                Const(high),
+                self._operand(low),
+                self._operand(high),
                 Const(include_low),
                 Const(include_high),
             )
@@ -133,6 +142,13 @@ class SQLCompiler:
         return builder.call(
             "algebra", "kunion", builder.var(without_updates), builder.var(update_hits)
         )
+
+    @staticmethod
+    def _operand(value: float) -> Var | Const:
+        """A bound as a plan operand: parameters by reference, literals baked in."""
+        if isinstance(value, Parameter):
+            return Var(value.name)
+        return Const(value)
 
     @staticmethod
     def _bounds(predicate: RangePredicate | ComparisonPredicate) -> tuple[float, float, bool, bool]:

@@ -1,0 +1,145 @@
+"""Query parameterization: lifting range literals into plan parameters.
+
+The paper's evaluation workloads (Figures 5–7, the SkyServer traces) issue
+thousands of range selections that differ *only* in their bound constants, so
+a plan cache keyed on literal SQL text is cold on almost every query.  This
+module extracts the numeric literals of a parsed statement into named
+parameters (``__p0``, ``__p1``, ...) and derives a hashable *shape* key — the
+statement with the literal values erased — so all queries of one shape share a
+single compiled plan and only the parameter values change per execution.
+
+The lifted :class:`Parameter` is a ``float`` subclass carrying its parameter
+name: AST validation (``high >= low``) and bound arithmetic keep working on
+the actual values, while the SQL compiler recognises the subclass and emits a
+MAL variable reference instead of baking the literal into the plan.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+
+from repro.sql.ast import ComparisonPredicate, RangePredicate, SelectStatement
+from repro.sql.parser import NUMBER_PATTERN
+
+#: A numeric literal as the tokenizer would lex it.  The lookbehind mirrors
+#: the tokenizer's greedy identifier consumption: a digit (or sign) directly
+#: attached to an identifier or another number never starts a fresh literal.
+_LITERAL_PATTERN = re.compile(rf"(?<![\w.]){NUMBER_PATTERN}")
+
+
+class Parameter(float):
+    """A numeric literal lifted into a named plan parameter."""
+
+    __slots__ = ("name",)
+
+    def __new__(cls, name: str, value: float) -> "Parameter":
+        parameter = super().__new__(cls, value)
+        parameter.name = name
+        return parameter
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name}={float(self)!r})"
+
+
+@dataclass(frozen=True)
+class ParameterizedQuery:
+    """One statement split into shape and parameter values.
+
+    ``statement`` is the parsed statement with every range literal replaced by
+    a :class:`Parameter`; ``shape`` is the hashable cache key (no literal
+    values); ``arguments`` maps parameter names to this query's literals, in
+    the form the compiled plan's environment expects.
+    """
+
+    statement: SelectStatement
+    shape: tuple
+    arguments: dict[str, float]
+
+
+def parameterize(statement: SelectStatement) -> ParameterizedQuery:
+    """Split ``statement`` into its shape and its literal parameter values."""
+    arguments: dict[str, float] = {}
+
+    def lift(value: float) -> Parameter:
+        name = f"__p{len(arguments)}"
+        arguments[name] = float(value)
+        return Parameter(name, value)
+
+    predicates: list[RangePredicate | ComparisonPredicate] = []
+    shape_predicates: list[tuple] = []
+    for predicate in statement.predicates:
+        if isinstance(predicate, RangePredicate):
+            predicates.append(
+                replace(predicate, low=lift(predicate.low), high=lift(predicate.high))
+            )
+            shape_predicates.append(
+                ("range", predicate.column, predicate.include_low, predicate.include_high)
+            )
+        else:
+            predicates.append(replace(predicate, value=lift(predicate.value)))
+            shape_predicates.append(("cmp", predicate.column, predicate.operator))
+    shape = (
+        statement.table,
+        statement.columns,
+        statement.aggregates,
+        tuple(shape_predicates),
+        statement.limit,
+    )
+    return ParameterizedQuery(
+        statement=replace(statement, predicates=tuple(predicates)),
+        shape=shape,
+        arguments=arguments,
+    )
+
+
+def mask_literals(normalized_sql: str) -> tuple[str, tuple[float, ...]]:
+    """Replace numeric literals in normalized SQL with ``?``; return the values.
+
+    This is the parse-free route to a cached plan shape: two statements whose
+    masked texts are equal differ only in their literal values, which map onto
+    parameters ``__p0``, ``__p1``, ... in textual order — the exact order
+    :func:`parameterize` assigns them.  Texts whose lexing would diverge from
+    the tokenizer (adjacent number lexemes) never parse successfully in this
+    grammar, so their masked keys are never installed and they fall through to
+    the full parse path with its usual errors.
+    """
+    values: list[float] = []
+
+    def replace_literal(match: re.Match) -> str:
+        values.append(float(match.group()))
+        return "?"
+
+    masked = _LITERAL_PATTERN.sub(replace_literal, normalized_sql)
+    return masked, tuple(values)
+
+
+def range_parameter_checks(statement: SelectStatement) -> tuple[tuple[int, int], ...]:
+    """Per-range ``(low_index, high_index)`` pairs for bind-time validation.
+
+    A masked-text cache hit skips the parser, so the ``high >= low`` check a
+    :class:`RangePredicate` performs at parse time must be re-applied to the
+    extracted literal values; violations fall back to the parse path, which
+    raises the usual error.
+    """
+    checks: list[tuple[int, int]] = []
+    for predicate in statement.predicates:
+        if isinstance(predicate, RangePredicate):
+            low, high = predicate.low, predicate.high
+            if isinstance(low, Parameter) and isinstance(high, Parameter):
+                checks.append((int(low.name[3:]), int(high.name[3:])))
+    return tuple(checks)
+
+
+def parameter_names(statement: SelectStatement) -> tuple[str, ...]:
+    """The parameter names referenced by a parameterized statement, in order."""
+    names: list[str] = []
+    for predicate in statement.predicates:
+        if isinstance(predicate, RangePredicate):
+            values = (predicate.low, predicate.high)
+        else:
+            values = (predicate.value,)
+        for value in values:
+            if isinstance(value, Parameter) and value.name not in names:
+                names.append(value.name)
+    return tuple(names)

@@ -22,10 +22,14 @@ class SQLSyntaxError(ValueError):
     """Raised when the query text cannot be parsed."""
 
 
+#: The numeric-literal lexeme.  Shared with the literal-masking fast path of
+#: :mod:`repro.sql.parameters`, which must recognise exactly the same lexemes.
+NUMBER_PATTERN = r"[-+]?\d+(?:\.\d*)?(?:[eE][-+]?\d+)?"
+
 _TOKEN_PATTERN = re.compile(
-    r"""
+    rf"""
     \s*(?:
-        (?P<number>[-+]?\d+(?:\.\d*)?(?:[eE][-+]?\d+)?)
+        (?P<number>{NUMBER_PATTERN})
       | (?P<identifier>[A-Za-z_][A-Za-z0-9_.]*)
       | (?P<operator><=|>=|<>|=|<|>)
       | (?P<punct>[(),*])
@@ -51,7 +55,8 @@ class _Token:
 def _tokenize(text: str) -> list[_Token]:
     tokens: list[_Token] = []
     position = 0
-    while position < len(text):
+    length = len(text)
+    while position < length:
         match = _TOKEN_PATTERN.match(text, position)
         if match is None:
             remainder = text[position:].strip()
@@ -59,11 +64,9 @@ def _tokenize(text: str) -> list[_Token]:
                 break
             raise SQLSyntaxError(f"unexpected input at: {remainder[:25]!r}")
         position = match.end()
-        for kind in ("number", "identifier", "operator", "punct"):
-            value = match.group(kind)
-            if value is not None:
-                tokens.append(_Token(kind, value))
-                break
+        kind = match.lastgroup
+        if kind is not None:  # lastgroup is None only for pure whitespace
+            tokens.append(_Token(kind, match.group(kind)))
     return tokens
 
 

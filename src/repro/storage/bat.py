@@ -137,9 +137,17 @@ class BAT:
         )
 
     def slice(self, start: int, stop: int) -> "BAT":
-        """Positional slice ``[start, stop)`` preserving head oids (a view)."""
+        """Positional slice ``[start, stop)`` preserving head oids (a view).
+
+        A slice covering the whole BAT returns ``self`` — BATs are never
+        mutated by operators, and the full-cover case is the steady state of
+        the segment-aware plans (the piece handed out by the BPM iterator is
+        exactly the query range).
+        """
         start = max(0, int(start))
         stop = min(self.count, int(stop))
+        if start == 0 and stop == self.count:
+            return self
         if self._head is None:
             return BAT(
                 self.tail[start:stop], hseqbase=self.hseqbase + start, name=self.name,

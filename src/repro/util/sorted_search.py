@@ -25,7 +25,9 @@ def sorted_probe(values: np.ndarray, value: float, side: str = "left") -> int:
     """
     if side not in ("left", "right"):
         raise ValueError(f"side must be 'left' or 'right', got {side!r}")
-    if np.issubdtype(values.dtype, np.integer) and math.isfinite(value):
+    # dtype.kind instead of np.issubdtype: same signed/unsigned-integer test,
+    # but a plain attribute check — this runs per probe on the query hot path.
+    if values.dtype.kind in "iu" and math.isfinite(value):
         # Translate the float probe to the equivalent integer probe: the
         # first integer i with i >= value (left) or i > value (right).
         if side == "left":

@@ -1,0 +1,106 @@
+"""Tests for the crash-if-slower bench gate (benchmarks/compare_bench.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_bench",
+    Path(__file__).resolve().parent.parent.parent / "benchmarks" / "compare_bench.py",
+)
+compare_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_bench)
+
+
+def report(**values: float) -> dict:
+    return {
+        "suite": "segment_kernels",
+        "results": [
+            {"name": name, "value": value, "unit": "s"} for name, value in values.items()
+        ],
+    }
+
+
+class TestCheck:
+    def test_within_limit_passes(self):
+        failures, warnings = compare_bench.check(
+            report(engine_per_query_warm=100e-6),
+            report(engine_per_query_warm=150e-6),
+            [("engine_per_query_warm", 2.0)],
+        )
+        assert failures == [] and warnings == []
+
+    def test_regression_beyond_limit_fails(self):
+        failures, _ = compare_bench.check(
+            report(engine_per_query_warm=100e-6),
+            report(engine_per_query_warm=250e-6),
+            [("engine_per_query_warm", 2.0)],
+        )
+        assert len(failures) == 1
+        assert "engine_per_query_warm" in failures[0]
+        assert "2.50x" in failures[0]
+
+    def test_metric_missing_from_baseline_warns_only(self):
+        failures, warnings = compare_bench.check(
+            report(other_metric=1.0),
+            report(engine_per_query_warm=100e-6),
+            [("engine_per_query_warm", 2.0)],
+        )
+        assert failures == []
+        assert len(warnings) == 1
+
+    def test_metric_missing_from_current_fails(self):
+        failures, _ = compare_bench.check(
+            report(engine_per_query_warm=100e-6),
+            report(other_metric=1.0),
+            [("engine_per_query_warm", 2.0)],
+        )
+        assert len(failures) == 1
+        assert "missing" in failures[0]
+
+    def test_multiple_gates_evaluate_independently(self):
+        failures, _ = compare_bench.check(
+            report(a=1.0, b=1.0),
+            report(a=1.5, b=3.0),
+            [("a", 2.0), ("b", 2.0)],
+        )
+        assert len(failures) == 1 and "b" in failures[0]
+
+
+class TestMain:
+    def _write(self, path: Path, payload: dict) -> Path:
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    def test_main_passes_and_prints_table(self, tmp_path, capsys):
+        baseline = self._write(tmp_path / "baseline.json", report(engine_per_query_warm=100e-6))
+        current = self._write(tmp_path / "current.json", report(engine_per_query_warm=90e-6))
+        code = compare_bench.main(["--baseline", str(baseline), "--current", str(current)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "engine_per_query_warm" in out
+        assert "[ok]" in out
+
+    def test_main_fails_on_regression(self, tmp_path, capsys):
+        baseline = self._write(tmp_path / "baseline.json", report(engine_per_query_warm=100e-6))
+        current = self._write(tmp_path / "current.json", report(engine_per_query_warm=900e-6))
+        code = compare_bench.main(["--baseline", str(baseline), "--current", str(current)])
+        assert code == 1
+        assert "[FAIL]" in capsys.readouterr().out
+
+    def test_main_with_explicit_gates(self, tmp_path):
+        baseline = self._write(tmp_path / "baseline.json", report(a=1.0, b=1.0))
+        current = self._write(tmp_path / "current.json", report(a=1.1, b=1.2))
+        code = compare_bench.main([
+            "--baseline", str(baseline), "--current", str(current),
+            "--metric", "a", "--metric", "b", "--max-ratio", "1.5",
+        ])
+        assert code == 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q"]))

@@ -50,7 +50,39 @@ class TestExecutionContext:
     def test_export_scalar_coerces_numeric_types(self, context):
         context.export_scalar("count(*)", np.float64(4))
         context.export_scalar("sum(x)", 2)
-        assert context.scalars == {"count(*)": 4.0, "sum(x)": 2.0}
+        context.export_scalar("max(x)", np.int64(9))
+        context.export_scalar("min(x)", np.float32(1.5))
+        context.export_scalar("flag", True)
+        assert context.scalars == {
+            "count(*)": 4.0,
+            "sum(x)": 2.0,
+            "max(x)": 9.0,
+            "min(x)": 1.5,
+            "flag": 1.0,
+        }
+        assert all(type(value) is float for value in context.scalars.values())
+
+    def test_export_scalar_rejects_non_numeric_values(self, context):
+        for bad in ("12.5", None, object(), [1.0], np.array([1.0, 2.0])):
+            with pytest.raises(TypeError, match="non-numeric"):
+                context.export_scalar("sum(x)", bad)
+        assert context.scalars == {}
+
+    def test_reset_clears_state_and_recycles_result_sets(self, context):
+        result_set = context.new_result_set()
+        container = context.result_sets[result_set]
+        context.add_result_column(result_set, "x", BAT(np.array([1.0])))
+        context.export_result(result_set)
+        context.export_scalar("count(*)", 3)
+        context.variables = {"X_1": 1}
+        context.reset()
+        assert context.result_sets == {} and context.scalars == {}
+        assert context.variables == {}
+        assert context.exported_columns() == {}
+        recycled = context.new_result_set()
+        assert context.result_sets[recycled] is container  # scratch reuse
+        assert context.result_sets[recycled].columns == {}
+        assert not context.result_sets[recycled].exported
 
 
 class TestQueryResult:

@@ -1,0 +1,187 @@
+"""Unit tests for slot-based compiled MAL plans."""
+
+import pytest
+
+from repro.mal.builder import ProgramBuilder
+from repro.mal.compiled import CompiledPlan, compile_program
+from repro.mal.interpreter import Interpreter, MALRuntimeError
+from repro.mal.modules import ModuleRegistry
+from repro.mal.program import Const, Instruction, MALProgram, Var
+
+
+class _Context:
+    variables: dict = {}
+
+
+def make_registry() -> ModuleRegistry:
+    registry = ModuleRegistry()
+    registry.register("calc", "add", lambda ctx, a, b: a + b)
+    registry.register("calc", "const", lambda ctx, a: a)
+    registry.register("calc", "pair", lambda ctx, a, b: (b, a))
+    return registry
+
+
+def make_loop_registry(items: list) -> tuple[ModuleRegistry, list]:
+    registry = make_registry()
+    state = {"position": 0}
+    sink: list = []
+
+    def new_iterator(ctx, *args):
+        state["position"] = 0
+        return next_item(ctx)
+
+    def next_item(ctx, *args):
+        if state["position"] >= len(items):
+            return None
+        item = items[state["position"]]
+        state["position"] += 1
+        return item
+
+    registry.register("iter", "new", new_iterator)
+    registry.register("iter", "next", next_item)
+    registry.register("iter", "collect", lambda ctx, value: sink.append(value))
+    registry.register("iter", "sink", lambda ctx: list(sink))
+    return registry, sink
+
+
+def loop_program() -> MALProgram:
+    builder = ProgramBuilder("loop")
+    barrier = builder.barrier("iter", "new", target="item")
+    builder.effect("iter", "collect", Var("item"))
+    builder.redo(barrier, "iter", "next")
+    builder.exit(barrier)
+    builder.call("iter", "sink", target="all")
+    return builder.build()
+
+
+class TestStraightLine:
+    def test_assignment_chain(self):
+        builder = ProgramBuilder("demo")
+        first = builder.call("calc", "const", Const(5))
+        builder.call("calc", "add", builder.var(first), Const(3), target="result")
+        plan = compile_program(builder.build(), make_registry())
+        assert isinstance(plan, CompiledPlan)
+        env = plan.run(_Context())
+        assert env["result"] == 8
+
+    def test_arguments_seed_parameter_slots(self):
+        builder = ProgramBuilder("demo", parameters=("A0", "A1"))
+        builder.call("calc", "add", Var("A0"), Var("A1"), target="out")
+        plan = compile_program(builder.build(), make_registry())
+        env = plan.run(_Context(), {"A0": 2, "A1": 40})
+        assert env["out"] == 42
+        assert env["A0"] == 2  # arguments appear in the environment, like the interpreter
+
+    def test_unknown_argument_names_are_ignored(self):
+        builder = ProgramBuilder("demo")
+        builder.call("calc", "const", Const(1), target="out")
+        plan = compile_program(builder.build(), make_registry())
+        env = plan.run(_Context(), {"unused": 99})
+        assert env["out"] == 1
+        assert env["unused"] == 99  # interpreter parity: arguments pass through
+
+    def test_multi_target_binding(self):
+        program = MALProgram("multi")
+        program.append(
+            Instruction(
+                opcode="assign",
+                targets=("a", "b"),
+                module="calc",
+                function="pair",
+                args=(Const(1), Const(2)),
+            )
+        )
+        plan = compile_program(program, make_registry())
+        env = plan.run(_Context())
+        assert (env["a"], env["b"]) == (2, 1)
+
+    def test_undefined_variable_raises(self):
+        builder = ProgramBuilder("demo")
+        builder.call("calc", "const", Var("missing"))
+        plan = compile_program(builder.build(), make_registry())
+        with pytest.raises(MALRuntimeError, match="undefined"):
+            plan.run(_Context())
+
+    def test_unknown_function_raises_at_compile_time(self):
+        builder = ProgramBuilder("demo")
+        builder.call("calc", "nonexistent", Const(1))
+        with pytest.raises(MALRuntimeError, match="no MAL implementation"):
+            compile_program(builder.build(), make_registry())
+
+
+class TestBarrierBlocks:
+    def test_loop_visits_every_item(self):
+        registry, _ = make_loop_registry([10, 20, 30])
+        plan = compile_program(loop_program(), registry)
+        env = plan.run(_Context())
+        assert env["all"] == [10, 20, 30]
+
+    def test_empty_iterator_skips_block(self):
+        registry, sink = make_loop_registry([])
+        plan = compile_program(loop_program(), registry)
+        env = plan.run(_Context())
+        assert env["all"] == []
+        assert sink == []
+
+    def test_runaway_loop_is_stopped(self):
+        registry = make_registry()
+        registry.register("iter", "new", lambda ctx: 1)
+        registry.register("iter", "next", lambda ctx: 1)  # never returns None
+        builder = ProgramBuilder("forever")
+        barrier = builder.barrier("iter", "new", target="item")
+        builder.redo(barrier, "iter", "next")
+        builder.exit(barrier)
+        plan = compile_program(builder.build(), registry, max_steps=1000)
+        with pytest.raises(MALRuntimeError, match="exceeded"):
+            plan.run(_Context())
+
+    def test_matches_interpreter_environment(self):
+        for items in ([], [1], [5, 6, 7]):
+            registry, _ = make_loop_registry(items)
+            interpreted = Interpreter(registry).run(loop_program(), _Context())
+            registry, _ = make_loop_registry(items)
+            compiled = compile_program(loop_program(), registry).run(_Context())
+            assert interpreted == compiled
+
+
+class TestOpcodeCounters:
+    def test_straight_line_counts_every_instruction_once(self):
+        builder = ProgramBuilder("demo")
+        first = builder.call("calc", "const", Const(5))
+        builder.call("calc", "add", builder.var(first), Const(3))
+        plan = compile_program(builder.build(), make_registry())
+        counts = plan.new_counters()
+        plan.execute(_Context(), None, counts)
+        assert plan.opcode_counts(counts) == {"calc.const": 1, "calc.add": 1}
+
+    def test_loop_counts_reflect_iterations(self):
+        registry, _ = make_loop_registry([10, 20, 30])
+        plan = compile_program(loop_program(), registry)
+        counts = plan.new_counters()
+        plan.execute(_Context(), None, counts)
+        aggregated = plan.opcode_counts(counts)
+        assert aggregated["iter.collect"] == 3
+        assert aggregated["iter.next"] == 3  # two redo loops + the final None
+        assert aggregated["iter.new"] == 1
+        assert aggregated["exit"] == 1
+
+    def test_skipped_block_counts_nothing_inside(self):
+        registry, _ = make_loop_registry([])
+        plan = compile_program(loop_program(), registry)
+        counts = plan.new_counters()
+        plan.execute(_Context(), None, counts)
+        aggregated = plan.opcode_counts(counts)
+        assert "iter.collect" not in aggregated
+        assert aggregated["iter.new"] == 1
+
+
+class TestSlots:
+    def test_slot_interning_covers_parameters_and_targets(self):
+        builder = ProgramBuilder("demo", parameters=("p0",))
+        builder.call("calc", "add", Var("p0"), Const(1), target="out")
+        plan = compile_program(builder.build(), make_registry())
+        assert plan.slot_count == 2
+        assert plan.slot_of("p0") == 0
+        assert plan.slot_of("out") == 1
+        with pytest.raises(KeyError):
+            plan.slot_of("nope")

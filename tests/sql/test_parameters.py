@@ -1,0 +1,124 @@
+"""Tests for query parameterization, shape keys and literal masking."""
+
+import pytest
+
+from repro.engine.plan_cache import normalize_sql
+from repro.sql.ast import ComparisonPredicate, RangePredicate
+from repro.sql.parameters import (
+    Parameter,
+    mask_literals,
+    parameter_names,
+    parameterize,
+    range_parameter_checks,
+)
+from repro.sql.parser import parse
+
+
+def shaped(sql: str):
+    return parameterize(parse(sql))
+
+
+class TestParameter:
+    def test_behaves_like_its_float_value(self):
+        parameter = Parameter("__p0", 10.5)
+        assert parameter == 10.5
+        assert parameter + 1 == 11.5
+        assert parameter.name == "__p0"
+        assert "10.5" in repr(parameter)
+
+
+class TestParameterize:
+    def test_range_literals_become_parameters(self):
+        result = shaped("SELECT objid FROM p WHERE ra BETWEEN 10 AND 40")
+        assert result.arguments == {"__p0": 10.0, "__p1": 40.0}
+        predicate = result.statement.predicates[0]
+        assert isinstance(predicate, RangePredicate)
+        assert isinstance(predicate.low, Parameter) and predicate.low.name == "__p0"
+        assert isinstance(predicate.high, Parameter) and predicate.high.name == "__p1"
+
+    def test_comparison_literal_becomes_a_parameter(self):
+        result = shaped("SELECT objid FROM p WHERE ra < 7")
+        assert result.arguments == {"__p0": 7.0}
+        predicate = result.statement.predicates[0]
+        assert isinstance(predicate, ComparisonPredicate)
+        assert isinstance(predicate.value, Parameter)
+
+    def test_same_shape_for_different_literals(self):
+        first = shaped("SELECT objid FROM p WHERE ra BETWEEN 10 AND 40")
+        second = shaped("SELECT objid FROM p WHERE ra BETWEEN 200.5 AND 201.5")
+        assert first.shape == second.shape
+        assert first.arguments != second.arguments
+
+    def test_shape_distinguishes_structure(self):
+        base = shaped("SELECT objid FROM p WHERE ra BETWEEN 10 AND 40").shape
+        assert shaped("SELECT objid FROM p WHERE dec BETWEEN 10 AND 40").shape != base
+        assert shaped("SELECT objid FROM p WHERE ra < 40").shape != base
+        assert shaped("SELECT ra FROM p WHERE ra BETWEEN 10 AND 40").shape != base
+        assert shaped("SELECT objid FROM q WHERE ra BETWEEN 10 AND 40").shape != base
+        assert (
+            shaped("SELECT objid FROM p WHERE ra BETWEEN 10 AND 40 LIMIT 5").shape != base
+        )
+        assert shaped("SELECT count(*) FROM p WHERE ra BETWEEN 10 AND 40").shape != base
+
+    def test_multiple_predicates_number_parameters_in_textual_order(self):
+        result = shaped("SELECT objid FROM p WHERE ra BETWEEN 10 AND 40 AND dec > 5")
+        assert result.arguments == {"__p0": 10.0, "__p1": 40.0, "__p2": 5.0}
+        assert parameter_names(result.statement) == ("__p0", "__p1", "__p2")
+
+    def test_no_predicates_no_parameters(self):
+        result = shaped("SELECT objid FROM p")
+        assert result.arguments == {}
+        assert parameter_names(result.statement) == ()
+
+
+class TestMaskLiterals:
+    def test_masks_literals_and_extracts_values(self):
+        masked, values = mask_literals(
+            normalize_sql("SELECT objid FROM p WHERE ra BETWEEN 10.5 AND 40")
+        )
+        assert masked == "select objid from p where ra between ? and ?"
+        assert values == (10.5, 40.0)
+
+    def test_literal_variants_share_one_masked_text(self):
+        first = mask_literals(normalize_sql("SELECT x FROM t WHERE x < 10"))
+        second = mask_literals(normalize_sql("SELECT  x FROM t   WHERE x < 1e1"))
+        assert first[0] == second[0]
+        assert first[1] == second[1] == (10.0,)
+
+    def test_digits_inside_identifiers_are_not_masked(self):
+        masked, values = mask_literals("select m1 from t2 where col3 < 5")
+        assert masked == "select m1 from t2 where col3 < ?"
+        assert values == (5.0,)
+
+    def test_negative_literals_after_operators(self):
+        masked, values = mask_literals("select x from t where x > -5")
+        assert masked == "select x from t where x > ?"
+        assert values == (-5.0,)
+        masked, values = mask_literals("select x from t where x>-5")
+        assert masked == "select x from t where x>?"
+        assert values == (-5.0,)
+
+    def test_adjacent_numbers_mask_divergently_but_harmlessly(self):
+        # "10-5" lexes as two numbers (10, -5) and never parses; the masked
+        # text keeps the "-" so it can never collide with an installed shape.
+        masked, values = mask_literals("select x from t where x between 10-5 and 20")
+        assert masked == "select x from t where x between ?-? and ?"
+        assert values == (10.0, 5.0, 20.0)
+
+    def test_raw_question_marks_survive_masking(self):
+        masked, values = mask_literals("select x from t where x between ? and 5")
+        assert masked == "select x from t where x between ? and ?"
+        assert values == (5.0,)  # fewer values than '?' occurrences → never matches
+
+
+class TestRangeParameterChecks:
+    def test_checks_cover_range_predicates_only(self):
+        result = shaped("SELECT objid FROM p WHERE ra BETWEEN 10 AND 40 AND dec > 5")
+        assert range_parameter_checks(result.statement) == ((0, 1),)
+
+    def test_unparameterized_statement_has_no_checks(self):
+        assert range_parameter_checks(parse("SELECT x FROM t WHERE x BETWEEN 1 AND 2")) == ()
+
+    def test_invalid_range_still_raises_at_parse_time(self):
+        with pytest.raises(ValueError, match="high < low"):
+            parse("SELECT x FROM t WHERE x BETWEEN 9 AND 3")
