@@ -17,6 +17,10 @@ fast path's cold/warm split:
   this tree (per-statement recompilation + tree-walking interpreter);
 * ``engine_per_query_nocache`` — the compiled fast path with the plan cache
   cleared before every statement (isolates the cache's contribution);
+* ``prepared_per_query`` — the client API's prepared-statement binding path
+  (``repro.connect`` → ``Connection.prepare`` → per-query bind + execute):
+  no SQL text per query at all, so it must beat the warm masked-text path
+  (``speedup_prepared_vs_warm`` is that ratio; the PERF_ASSERT bar);
 * ``speedup_engine_warm`` — warm vs the *committed* PR-2 ``engine_per_query``
   figure (940.66 µs) when running at the reference scale of 100 K rows /
   200 queries; at any other scale that figure is not comparable and the
@@ -34,8 +38,9 @@ Scales with the environment (CI runs reduced)::
 The suite never fails on timing — it reports (``benchmarks/compare_bench.py``
 is the gate).  Set ``PERF_ASSERT=1`` to additionally enforce the acceptance
 bars (>= 5x fully-contained select, >= 2x adaptive-split partition, >= 5x
-warm-vs-nocache engine speedup, warm <= 150 µs at the default 100 K scale)
-for local verification.
+warm-vs-nocache engine speedup, warm <= 150 µs and prepared binding faster
+than the warm masked-text path at the default 100 K scale) for local
+verification.
 
 Runs standalone::
 
@@ -194,15 +199,18 @@ def run_suite() -> PerfSuite:
                                  m_min=8 * KB, m_max=32 * KB)
         return database
 
-    def workload() -> list[str]:
+    def workload_bounds() -> list[tuple[float, float]]:
         rng = np.random.default_rng(43)
-        statements = []
-        for _ in range(n_queries):
-            low = float(rng.uniform(0.0, 356.0))
-            statements.append(
-                f"SELECT objid FROM p WHERE ra BETWEEN {low} AND {low + 3.6}"
-            )
-        return statements
+        return [
+            (low, low + 3.6)
+            for low in (float(rng.uniform(0.0, 356.0)) for _ in range(n_queries))
+        ]
+
+    def workload() -> list[str]:
+        return [
+            f"SELECT objid FROM p WHERE ra BETWEEN {low} AND {high}"
+            for low, high in workload_bounds()
+        ]
 
     def engine_run(*, clear_cache: bool) -> tuple[list[float], list]:
         database = build_database()
@@ -301,6 +309,43 @@ def run_suite() -> PerfSuite:
         note="per-statement recompilation + tree-walking interpreter (pre-fast-path)",
     )
 
+    # The client API's prepared-statement binding path: one
+    # Connection.prepare, then only bind-and-execute per query — no SQL text
+    # is touched again (vs. the warm masked-text path, which still pays
+    # normalize + literal masking + cache probe per query).
+    def prepared_run() -> list[float]:
+        from repro.api import connect
+
+        connection = connect(build_database())
+        select = connection.prepare("SELECT objid FROM p WHERE ra BETWEEN ? AND ?")
+        times: list[float] = []
+        for bounds in workload_bounds():
+            started = time.perf_counter()
+            select.execute(bounds)
+            times.append(time.perf_counter() - started)
+        return times
+
+    best_prepared: list[float] | None = None
+    best_prepared_median = float("inf")
+    for _ in range(min(repeat, 3)):
+        candidate = prepared_run()
+        ordered = sorted(candidate[1:]) or [candidate[0]]
+        if ordered[len(ordered) // 2] < best_prepared_median:
+            best_prepared = candidate
+            best_prepared_median = ordered[len(ordered) // 2]
+    prepared_warm = sorted(best_prepared[1:]) or [best_prepared[0]]
+    suite.derive(
+        "prepared_per_query", prepared_warm[len(prepared_warm) // 2], unit="s",
+        rows=n_rows, queries=n_queries,
+        note="median per-query over Connection.prepare + PreparedStatement.execute "
+             "(first query excluded: it pays the adaptation burst)",
+    )
+    suite.derive(
+        "speedup_prepared_vs_warm",
+        suite["engine_per_query_warm"].value / suite["prepared_per_query"].value,
+        note="prepared binding vs the warm masked-text path (bar: >= 1x)",
+    )
+
     # The compiled fast path with the plan cache disabled: isolates what the
     # cache contributes on top of the slot-based executor.
     nocache_times, _ = engine_run(clear_cache=True)
@@ -347,6 +392,7 @@ def main() -> int:
         partition = suite["speedup_partition"].value
         warm = suite["engine_per_query_warm"].value
         warm_speedup = suite["speedup_engine_warm"].value
+        prepared = suite["prepared_per_query"].value
         assert contained >= 5.0, f"fully-contained select speedup {contained:.1f}x < 5x"
         assert partition >= 2.0, f"partition speedup {partition:.1f}x < 2x"
         at_reference_scale = (
@@ -357,9 +403,14 @@ def main() -> int:
             # The acceptance bars are defined at the reference scale only.
             assert warm <= 150e-6, f"warm engine per-query {warm * 1e6:.1f} µs > 150 µs"
             assert warm_speedup >= 5.0, f"warm engine speedup {warm_speedup:.1f}x < 5x"
+            assert prepared < warm, (
+                f"prepared binding {prepared * 1e6:.1f} µs not faster than "
+                f"warm masked-text path {warm * 1e6:.1f} µs"
+            )
         print(
             f"[PERF_ASSERT ok: select {contained:.1f}x, partition {partition:.1f}x, "
-            f"engine warm {warm * 1e6:.1f} µs ({warm_speedup:.1f}x)]"
+            f"engine warm {warm * 1e6:.1f} µs ({warm_speedup:.1f}x), "
+            f"prepared {prepared * 1e6:.1f} µs]"
         )
     return 0
 

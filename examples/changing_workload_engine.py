@@ -1,11 +1,13 @@
-"""A changing workload against the engine (paper §6.2, Figures 15/16).
+"""A changing workload against the client API (paper §6.2, Figures 15/16).
 
 The changing workload consists of four phases of 50 queries, each confined to
 a fresh area of the right-ascension domain.  Every phase shift forces the
 segment optimizer to reorganize previously untouched segments, which shows up
 as a temporary bump in per-query adaptation time that evens out within the
-phase.  The example prints a per-phase summary and a small text sparkline of
-the moving-average query time.
+phase.  The whole stream runs through one prepared statement — the binding
+path never re-parses, so the per-query numbers isolate selection and
+adaptation work.  The example prints a per-phase summary and a small text
+sparkline of the moving-average query time.
 
 Run with:  python examples/changing_workload_engine.py
 """
@@ -14,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.engine import Database
+import repro
 from repro.util.stats import moving_average
 from repro.workloads import skyserver_dataset, skyserver_workload
 
@@ -31,42 +33,43 @@ def sparkline(series: list[float], width: int = 60) -> str:
 
 def main() -> None:
     dataset = skyserver_dataset(n_values=1_000_000, seed=5)
-    database = Database()
-    database.create_table("p", {"objid": "int64", "ra": "float64"})
-    database.bulk_load(
-        "p", {"objid": np.arange(dataset.ra.size, dtype=np.int64), "ra": dataset.ra}
-    )
-    database.enable_adaptive(
-        "p", "ra", strategy="segmentation", model="apm",
-        m_min=dataset.m_min, m_max=dataset.m_max_small,
-    )
-
-    workload = skyserver_workload("changing", n_queries=200, seed=5)
-    adaptation_ms: list[float] = []
-    total_ms: list[float] = []
-    for query in workload:
-        result = database.execute(
-            f"SELECT objid FROM p WHERE ra BETWEEN {float(query.low)!r} AND {float(query.high)!r}"
+    with repro.connect() as connection:
+        connection.admin.create_table("p", {"objid": "int64", "ra": "float64"})
+        connection.admin.bulk_load(
+            "p", {"objid": np.arange(dataset.ra.size, dtype=np.int64), "ra": dataset.ra}
         )
-        adaptation_ms.append(result.adaptation_seconds * 1000)
-        total_ms.append(result.total_seconds * 1000)
-
-    queries_per_phase = len(workload) // 4
-    print("per-phase adaptation overhead (the spikes of Figures 15/16):")
-    for phase in range(4):
-        start = phase * queries_per_phase
-        phase_slice = adaptation_ms[start : start + queries_per_phase]
-        head = sum(phase_slice[: queries_per_phase // 5])
-        tail = sum(phase_slice[-queries_per_phase // 5 :])
-        print(
-            f"  phase {phase + 1}: first queries {head:7.1f} ms of adaptation, "
-            f"last queries {tail:7.1f} ms"
+        connection.admin.enable_adaptive(
+            "p", "ra", strategy="segmentation", model="apm",
+            m_min=dataset.m_min, m_max=dataset.m_max_small,
         )
 
-    print("\nmoving-average query time (ms), one character per ~3 queries:")
-    print("  " + sparkline(list(moving_average(total_ms, 15))))
-    handle = database.adaptive_handle("p", "ra")
-    print(f"\nsegments after the run: {handle.adaptive.segment_count}")
+        select = connection.prepare(
+            "SELECT objid FROM p WHERE ra BETWEEN :lo AND :hi"
+        )
+        workload = skyserver_workload("changing", n_queries=200, seed=5)
+        adaptation_ms: list[float] = []
+        total_ms: list[float] = []
+        for query in workload:
+            result = select.execute({"lo": float(query.low), "hi": float(query.high)})
+            adaptation_ms.append(result.adaptation_seconds * 1000)
+            total_ms.append(result.total_seconds * 1000)
+
+        queries_per_phase = len(workload) // 4
+        print("per-phase adaptation overhead (the spikes of Figures 15/16):")
+        for phase in range(4):
+            start = phase * queries_per_phase
+            phase_slice = adaptation_ms[start : start + queries_per_phase]
+            head = sum(phase_slice[: queries_per_phase // 5])
+            tail = sum(phase_slice[-queries_per_phase // 5 :])
+            print(
+                f"  phase {phase + 1}: first queries {head:7.1f} ms of adaptation, "
+                f"last queries {tail:7.1f} ms"
+            )
+
+        print("\nmoving-average query time (ms), one character per ~3 queries:")
+        print("  " + sparkline(list(moving_average(total_ms, 15))))
+        handle = connection.admin.adaptive_handle("p", "ra")
+        print(f"\nsegments after the run: {handle.adaptive.segment_count}")
 
 
 if __name__ == "__main__":

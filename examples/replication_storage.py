@@ -2,43 +2,58 @@
 
 Adaptive replication keeps query results as replica segments organised in a
 tree of materialized and virtual nodes.  This example replays a uniform and a
-skewed (Zipf) workload against a replicated column and prints how the replica
-storage evolves: it first grows well beyond the column size and then collapses
-back once fully replicated segments (eventually the original column itself)
-are dropped — much later under the skewed workload, exactly as in the paper's
-Figures 8 and 9.
+skewed (Zipf) workload through the DB-API client against a replicated column
+and prints how the replica storage evolves: it first grows well beyond the
+column size and then collapses back once fully replicated segments
+(eventually the original column itself) are dropped — much later under the
+skewed workload, exactly as in the paper's Figures 8 and 9.
 
 Run with:  python examples/replication_storage.py
 """
 
 from __future__ import annotations
 
-from repro import AdaptivePageModel, ReplicatedColumn
+import numpy as np
+
+import repro
 from repro.util.units import KB, format_bytes
 from repro.workloads import make_column, uniform_workload, zipf_workload
 
 
 def run(workload_name: str, workload, values) -> None:
-    column = ReplicatedColumn(values.copy(), model=AdaptivePageModel(3 * KB, 12 * KB))
-    checkpoints = {50, 100, 250, 500, 1000, 2000, len(workload)}
-    print(f"\n=== {workload_name} workload ===")
-    print(f"{'queries':>8s} | {'replica storage':>15s} | {'tree nodes':>10s} | {'tree depth':>10s}")
-    for index, query in enumerate(workload, start=1):
-        column.select(query.low, query.high)
-        if index in checkpoints:
-            print(
-                f"{index:>8d} | {format_bytes(column.storage_bytes):>15s} "
-                f"| {column.segment_count:>10d} | {column.tree_depth:>10d}"
-            )
-    print(f"peak storage: {format_bytes(column.peak_storage_bytes)} "
-          f"(column size {format_bytes(column.total_bytes)})")
+    with repro.connect() as connection:
+        connection.admin.create_table("readings", {"oid": "int64", "value": "int32"})
+        connection.admin.bulk_load(
+            "readings",
+            {"oid": np.arange(values.size, dtype=np.int64), "value": values},
+        )
+        connection.admin.enable_adaptive(
+            "readings", "value", strategy="replication", model="apm",
+            m_min=3 * KB, m_max=12 * KB,
+        )
+        column = connection.admin.adaptive_handle("readings", "value").adaptive
+
+        select = connection.prepare(
+            "SELECT oid FROM readings WHERE value BETWEEN ? AND ?"
+        )
+        checkpoints = {50, 100, 250, 500, 1000, 2000, len(workload)}
+        print(f"\n=== {workload_name} workload ===")
+        print(f"{'queries':>8s} | {'replica storage':>15s} | {'tree nodes':>10s} | {'tree depth':>10s}")
+        for index, query in enumerate(workload, start=1):
+            select.execute((query.low, query.high))
+            if index in checkpoints:
+                print(
+                    f"{index:>8d} | {format_bytes(column.storage_bytes):>15s} "
+                    f"| {column.segment_count:>10d} | {column.tree_depth:>10d}"
+                )
+        print(f"peak storage: {format_bytes(column.peak_storage_bytes)} "
+              f"(column size {format_bytes(column.total_bytes)})")
 
 
 def main() -> None:
     values = make_column(n_values=100_000, domain_size=1_000_000, seed=3)
-    domain = (0, 1_000_000)
-    run("uniform", uniform_workload(3_000, domain, 0.1, seed=3), values)
-    run("zipf (skewed)", zipf_workload(3_000, domain, 0.1, seed=3), values)
+    run("uniform", uniform_workload(3_000, (0, 1_000_000), 0.1, seed=3), values)
+    run("zipf (skewed)", zipf_workload(3_000, (0, 1_000_000), 0.1, seed=3), values)
     print("\nUnder the skewed workload the original column survives much longer:")
     print("rarely-touched areas of the domain are never replicated, so the big")
     print("storage release happens thousands of queries later than under the")

@@ -1,11 +1,12 @@
-"""SkyServer-style scenario through the SQL engine (paper §6.2).
+"""SkyServer-style scenario through the DB-API client (paper §6.2).
 
 Creates the photo-object table ``p`` with a synthetic right-ascension column,
-lets the non-segmented engine answer a few spatial searches, then hands the
-``ra`` column to the Bat Partition Manager for adaptive segmentation and
-replays a 200-query workload.  The example prints the optimized MAL plan
-before and after the segment optimizer kicks in (compare with the paper's
-Figure 1 and the §3.1 iterator snippet) and the adaptation/selection split.
+lets the non-segmented engine answer a spatial search, then hands the ``ra``
+column to the Bat Partition Manager for adaptive segmentation and replays a
+200-query workload through one prepared statement.  The example prints the
+optimized MAL plan before and after the segment optimizer kicks in (compare
+with the paper's Figure 1 and the §3.1 iterator snippet), the plan-cache
+level each call path hit, and the adaptation/selection split.
 
 Run with:  python examples/skyserver_adaptive_sql.py
 """
@@ -14,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.engine import Database, Session
+import repro
 from repro.util.units import format_bytes
 from repro.workloads import skyserver_dataset, skyserver_workload
 
@@ -27,46 +28,53 @@ def main() -> None:
         f"{format_bytes(dataset.m_min)} / {format_bytes(dataset.m_max_large)}"
     )
 
-    database = Database()
-    database.create_table("p", {"objid": "int64", "ra": "float64"})
-    database.bulk_load(
+    connection = repro.connect()
+    admin = connection.admin
+    admin.create_table("p", {"objid": "int64", "ra": "float64"})
+    admin.bulk_load(
         "p", {"objid": np.arange(dataset.ra.size, dtype=np.int64), "ra": dataset.ra}
     )
-    session = Session(database)
+    cursor = connection.cursor()
 
     example_query = "SELECT objid FROM p WHERE ra BETWEEN 205.1 AND 205.12"
     print("\n--- plan without segmentation (cf. paper Figure 1) ---")
-    print(database.explain(example_query))
+    print(admin.explain(example_query))
 
-    result = session.execute(example_query)
-    print(f"\n{result.row_count} objects found in ra [205.1, 205.12]")
+    cursor.execute("SELECT objid FROM p WHERE ra BETWEEN ? AND ?", (205.1, 205.12))
+    print(f"\n{cursor.rowcount} objects found in ra [205.1, 205.12] "
+          f"(cache level: {cursor.cache_level})")
 
     # Hand the column to the BPM: from now on the segment optimizer rewrites
-    # every selection on p.ra into a segment-aware iterator block.
-    database.enable_adaptive(
+    # every selection on p.ra into a segment-aware iterator block.  The SQL
+    # front-end — and the already-prepared statements — need no change.
+    admin.enable_adaptive(
         "p", "ra", strategy="segmentation", model="apm",
         m_min=dataset.m_min, m_max=dataset.m_max_large,
     )
     print("\n--- plan with adaptive segmentation (cf. paper section 3.1) ---")
-    print(database.explain(example_query))
+    print(admin.explain(example_query))
 
+    select = connection.prepare("SELECT objid FROM p WHERE ra BETWEEN ? AND ?")
     workload = skyserver_workload("random", n_queries=200, seed=7)
-    session.reset_timings()
+    total_seconds = selection_seconds = adaptation_seconds = 0.0
     for query in workload:
-        session.execute(
-            f"SELECT objid FROM p WHERE ra BETWEEN {float(query.low)!r} AND {float(query.high)!r}"
-        )
+        result = select.execute((float(query.low), float(query.high)))
+        total_seconds += result.total_seconds
+        selection_seconds += result.selection_seconds
+        adaptation_seconds += result.adaptation_seconds
 
-    handle = database.adaptive_handle("p", "ra")
-    timings = session.timings
-    print("\nafter the 200-query random workload:")
+    handle = admin.adaptive_handle("p", "ra")
+    print("\nafter the 200-query random workload (one prepared statement):")
     print(f"  segments created:          {handle.adaptive.segment_count}")
-    print(f"  avg query time:            {timings.average_milliseconds:.2f} ms")
-    print(f"  time spent selecting:      {timings.selection_seconds * 1000:.0f} ms")
-    print(f"  time spent adapting:       {timings.adaptation_seconds * 1000:.0f} ms")
+    print(f"  avg query time:            {1000.0 * total_seconds / len(workload):.2f} ms")
+    print(f"  time spent selecting:      {selection_seconds * 1000:.0f} ms")
+    print(f"  time spent adapting:       {adaptation_seconds * 1000:.0f} ms")
     print(f"  bytes read per query:      "
           f"{format_bytes(handle.adaptive.accountant.total_reads_bytes / len(workload))}"
           f" (column is {format_bytes(dataset.column_bytes)})")
+    print(f"  plan cache: {admin.plan_cache_stats.hits} hits / "
+          f"{admin.plan_cache_stats.misses} misses")
+    connection.close()
 
 
 if __name__ == "__main__":

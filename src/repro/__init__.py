@@ -11,6 +11,22 @@ benchmark harness reproducing every figure and table of the evaluation.
 Quickstart
 ----------
 
+The client surface is DB-API 2.0 (PEP 249): ``repro.connect()`` opens a
+connection whose cursors and prepared statements bind parameters straight
+into compiled plans::
+
+    import repro
+
+    with repro.connect() as connection:
+        connection.admin.create_table("p", {"objid": "int64", "ra": "float64"})
+        connection.admin.bulk_load("p", {"objid": objids, "ra": ra_values})
+        connection.admin.enable_adaptive("p", "ra", strategy="segmentation")
+        cursor = connection.cursor()
+        cursor.execute("SELECT objid FROM p WHERE ra BETWEEN ? AND ?", (205.1, 205.12))
+        rows = cursor.fetchall()
+
+The physical layer is importable directly as well:
+
 >>> import numpy as np
 >>> from repro import SegmentedColumn, AdaptivePageModel
 >>> values = np.random.default_rng(0).integers(0, 1_000_000, size=100_000).astype(np.int32)
@@ -39,13 +55,47 @@ from repro.core import (
     segment_statistics,
 )
 
+# The DB-API 2.0 client facade (imported after repro.core: the api package
+# pulls in the engine, which builds on the core substrates).
+from repro.api import (  # noqa: E402
+    Connection,
+    Cursor,
+    DatabaseError,
+    DataError,
+    Error,
+    IntegrityError,
+    InterfaceError,
+    InternalError,
+    NotSupportedError,
+    OperationalError,
+    PreparedStatement,
+    ProgrammingError,
+    Warning,  # noqa: A004 - the PEP 249 name shadows the builtin, as in sqlite3
+    apilevel,
+    connect,
+    paramstyle,
+    threadsafety,
+)
+
 __version__ = "1.0.0"
 
 __all__ = [
     "AdaptivePageModel",
     "AutoTunedAPM",
+    "Connection",
+    "Cursor",
+    "DataError",
+    "DatabaseError",
+    "Error",
     "GaussianDice",
     "IOAccountant",
+    "IntegrityError",
+    "InterfaceError",
+    "InternalError",
+    "NotSupportedError",
+    "OperationalError",
+    "PreparedStatement",
+    "ProgrammingError",
     "QueryLog",
     "QueryStats",
     "ReplicatedColumn",
@@ -53,10 +103,15 @@ __all__ = [
     "SelectionResult",
     "UnsegmentedColumn",
     "ValueRange",
+    "Warning",
+    "apilevel",
     "available_strategies",
+    "connect",
     "create_strategy",
     "model_from_name",
+    "paramstyle",
     "register_strategy",
     "segment_statistics",
+    "threadsafety",
     "__version__",
 ]

@@ -1,0 +1,109 @@
+"""The PEP 249 exception hierarchy and the engine-error translation layer.
+
+The client API promises DB-API 2.0 semantics: everything a conforming driver
+may raise derives from :class:`Error`, split into interface misuse
+(:class:`InterfaceError`) and database-side failures (:class:`DatabaseError`
+and its subclasses).  The engine itself keeps raising its native exceptions —
+``SQLSyntaxError`` from the parser, ``BindError`` from parameter binding,
+``KeyError`` from the catalog, ``MALRuntimeError`` from plan execution — and
+:func:`translating` maps them onto this hierarchy at the API boundary, so the
+engine stays importable without the client layer.
+
+This module deliberately imports nothing from :mod:`repro.engine`:
+``QueryResult.scalar`` raises :class:`ProgrammingError` from inside the
+engine, and the import must not cycle.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.mal.program import MALRuntimeError
+from repro.sql.parameters import BindError
+from repro.sql.parser import SQLSyntaxError
+
+__all__ = [
+    "Warning",
+    "Error",
+    "InterfaceError",
+    "DatabaseError",
+    "DataError",
+    "OperationalError",
+    "IntegrityError",
+    "InternalError",
+    "ProgrammingError",
+    "NotSupportedError",
+    "translating",
+]
+
+
+class Warning(Exception):  # noqa: A001 - the PEP 249 name shadows the builtin
+    """Important warnings such as data truncation (PEP 249)."""
+
+
+class Error(Exception):
+    """Base of every error the client API raises (PEP 249)."""
+
+
+class InterfaceError(Error):
+    """Misuse of the API itself — e.g. operating on a closed connection."""
+
+
+class DatabaseError(Error):
+    """Base of errors related to the database."""
+
+
+class DataError(DatabaseError):
+    """Problems with the processed data (out-of-range values, bad types)."""
+
+
+class OperationalError(DatabaseError):
+    """Errors in the database's operation, not the programmer's control."""
+
+
+class IntegrityError(DatabaseError):
+    """Relational-integrity violations (unused by this engine, kept for PEP 249)."""
+
+
+class InternalError(DatabaseError):
+    """The database hit an internal inconsistency."""
+
+
+class ProgrammingError(DatabaseError):
+    """Errors the client program caused: bad SQL, wrong bindings, unknown names."""
+
+
+class NotSupportedError(DatabaseError):
+    """A requested feature the database does not support (e.g. rollback)."""
+
+
+@contextmanager
+def translating() -> Iterator[None]:
+    """Translate engine-native exceptions into the PEP 249 hierarchy.
+
+    Client-caused failures become :class:`ProgrammingError`: syntax errors,
+    binding violations, unknown tables/columns/labels — and ``ValueError``/
+    ``TypeError`` generally, because the engine uses exactly those for
+    argument validation (bad dtypes in ``create_table``, invalid strategy
+    options, ...).  Failures raised *by plan execution* become
+    :class:`OperationalError`.  Exceptions already in the hierarchy pass
+    through untouched, as does everything outside these types
+    (``AssertionError``, ``MemoryError``, arbitrary errors) — masking those
+    as database errors would hide bugs.
+    """
+    try:
+        yield
+    except Error:
+        raise
+    except (SQLSyntaxError, BindError) as exc:
+        raise ProgrammingError(str(exc)) from exc
+    except MALRuntimeError as exc:
+        raise OperationalError(str(exc)) from exc
+    except KeyError as exc:
+        # The catalog reports unknown tables/columns as KeyError; its message
+        # is the interesting part, so unwrap the KeyError repr-quoting.
+        message = exc.args[0] if exc.args else str(exc)
+        raise ProgrammingError(str(message)) from exc
+    except (ValueError, TypeError) as exc:
+        raise ProgrammingError(str(exc)) from exc

@@ -15,6 +15,7 @@ from repro.engine.plan_cache import (
     CachedPlan,
     PlanCache,
     PlanCacheStats,
+    PreparedPlan,
     normalize_sql,
 )
 from repro.engine.profile import QueryProfile
@@ -28,6 +29,7 @@ __all__ = [
     "ExecutionContext",
     "PlanCache",
     "PlanCacheStats",
+    "PreparedPlan",
     "QueryProfile",
     "QueryResult",
     "Session",

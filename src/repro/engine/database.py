@@ -15,6 +15,7 @@ from repro.engine.plan_cache import (
     BoundPlan,
     CachedPlan,
     PlanCache,
+    PreparedPlan,
     TextShapePlan,
     normalize_sql,
 )
@@ -30,7 +31,14 @@ from repro.optimizer.rules import merge_duplicate_binds, remove_dead_code
 from repro.optimizer.segment_optimizer import SegmentOptimizer
 from repro.sql.ast import ComparisonPredicate, SelectStatement
 from repro.sql.compiler import SQLCompiler
-from repro.sql.parameters import mask_literals, parameterize, range_parameter_checks
+from repro.sql.parameters import (
+    mask_literals,
+    parameterize,
+    prepared_binding,
+    range_parameter_checks,
+    statement_shape,
+    substitute_placeholders,
+)
 from repro.sql.parser import parse
 from repro.storage.catalog import Catalog
 from repro.util.units import KB
@@ -211,24 +219,39 @@ class Database:
         """The optimized MAL plan in concrete syntax (like ``EXPLAIN``)."""
         return self.optimizer.optimize(self.compile(sql)).render()
 
-    def _prepare(self, sql: str, profile: QueryProfile) -> tuple[BoundPlan, bool]:
+    def _lower(self, statement: SelectStatement, profile: QueryProfile) -> CachedPlan:
+        """Compile, optimize and lower one statement into a :class:`CachedPlan`."""
+        started = time.perf_counter()
+        program = self.compiler.compile(statement)
+        codegen_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        optimized = self.optimizer.optimize(program)
+        profile.optimize_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        compiled = compile_program(optimized, self.registry)
+        profile.compile_seconds = codegen_seconds + time.perf_counter() - started
+        return CachedPlan(compiled=compiled, text=optimized.render())
+
+    def _prepare(self, sql: str, profile: QueryProfile) -> tuple[BoundPlan, str]:
         """The executable plan and parameter values for ``sql``.
 
         Three cache levels share one LRU store, fastest first: the exact
         normalized text (skips everything), the literal-masked text (skips
         the parse — the common warm case for workloads that vary only their
         range constants), and the parsed query *shape* (skips
-        compile/optimize/lowering).  Returns ``(bound_plan, cache_hit)``;
-        ``profile`` receives the per-stage timings of whatever work actually
-        ran.  Plans are safe to re-run: per-query state lives in the
-        :class:`ExecutionContext`, and the cache is cleared whenever the
-        schema or an adaptive registration changes.
+        compile/optimize/lowering).  Returns ``(bound_plan, cache_level)``
+        with the level that answered (``"exact"``/``"masked"``/``"shape"``,
+        or ``"cold"`` when the plan had to be compiled); ``profile`` receives
+        the per-stage timings of whatever work actually ran.  Plans are safe
+        to re-run: per-query state lives in the :class:`ExecutionContext`,
+        and the cache is cleared whenever the schema or an adaptive
+        registration changes.
         """
         normalized = normalize_sql(sql)
         text_key = ("sql", normalized)
         bound = self.plan_cache.get(text_key)
         if bound is not None:
-            return bound, True
+            return bound, "exact"
 
         started = time.perf_counter()
         masked, literals = mask_literals(normalized)
@@ -243,25 +266,16 @@ class Database:
             # No text-level install here: re-reaching this entry costs one
             # masked lookup, and not churning the LRU with every literal
             # variant keeps the durable shape entries resident.
-            return BoundPlan(plan=fast.plan, arguments=arguments), True
+            return BoundPlan(plan=fast.plan, arguments=arguments), "masked"
 
         shaped = parameterize(parse(sql))
         profile.parse_seconds = time.perf_counter() - started
 
         shape_key = ("shape", shaped.shape)
         plan = self.plan_cache.get(shape_key)
-        cache_hit = plan is not None
+        level = "shape" if plan is not None else "cold"
         if plan is None:
-            started = time.perf_counter()
-            program = self.compiler.compile(shaped.statement)
-            codegen_seconds = time.perf_counter() - started
-            started = time.perf_counter()
-            optimized = self.optimizer.optimize(program)
-            profile.optimize_seconds = time.perf_counter() - started
-            started = time.perf_counter()
-            compiled = compile_program(optimized, self.registry)
-            profile.compile_seconds = codegen_seconds + time.perf_counter() - started
-            plan = CachedPlan(compiled=compiled, text=optimized.render())
+            plan = self._lower(shaped.statement, profile)
             self.plan_cache.put(shape_key, plan)
         if shaped.statement.limit is None and len(literals) == len(shaped.arguments):
             # Every textual literal is a parameter: the masked text alone
@@ -276,7 +290,7 @@ class Database:
             )
         bound = BoundPlan(plan=plan, arguments=shaped.arguments)
         self.plan_cache.put(text_key, bound)
-        return bound, cache_hit
+        return bound, level
 
     def execute(self, sql: str) -> QueryResult:
         """Run a query through the compiled fast path.
@@ -288,8 +302,9 @@ class Database:
         """
         total_started = time.perf_counter()
         profile = QueryProfile()
-        bound, cache_hit = self._prepare(sql, profile)
+        bound, level = self._prepare(sql, profile)
         optimizer_seconds = time.perf_counter() - total_started
+        cache_hit = level != "cold"
         profile.cold = not cache_hit
 
         compiled = bound.plan.compiled
@@ -312,6 +327,129 @@ class Database:
             adaptation_seconds=adaptation_seconds,
             optimizer_seconds=optimizer_seconds,
             plan_cache_hit=cache_hit,
+            cache_level=level,
+            plan_cache_hits=self.plan_cache.hits,
+            plan_cache_misses=self.plan_cache.misses,
+            profile=profile,
+        )
+        self._release_context(context)
+        self.query_history.append(result)
+        return result
+
+    # -- prepared statements (the client API's binding path) -----------------
+
+    def prepare_statement(self, sql: str) -> PreparedPlan:
+        """Lower ``sql`` (with ``?``/``:name`` placeholders) into a bound-ready plan.
+
+        The placeholder-shape cache level: the normalized text keys the
+        prepared entry, so repeated ``Cursor.execute(sql, params)`` calls cost
+        one dictionary lookup — no parse, no literal masking.  A prepared
+        statement whose placeholders cover every bound shares its compiled
+        plan with the literal path's lifted shape, so preparing a statement
+        the masked-text path already compiled lowers nothing.
+        """
+        normalized = normalize_sql(sql)
+        key = ("prepared", normalized)
+        prepared = self.plan_cache.get(key)
+        if prepared is not None:
+            return prepared
+
+        profile = QueryProfile()  # prepare-time work is not attributed to a query
+        statement = parse(sql, placeholders=True)
+        binding = prepared_binding(statement)
+        shape_key = ("shape", statement_shape(statement))
+        plan = self.plan_cache.get(shape_key)
+        if plan is None:
+            plan = self._lower(statement, profile)
+            self.plan_cache.put(shape_key, plan)
+        slots = plan.compiled.parameter_slots(
+            tuple(f"__p{index}" for index in range(binding.count))
+        )
+        prepared = PreparedPlan(
+            sql=normalized,
+            plan=plan,
+            statement=statement,
+            binding=binding,
+            slots=slots,
+            generation=self.plan_cache.generation,
+        )
+        self.plan_cache.put(key, prepared)
+        return prepared
+
+    def execute_prepared(self, prepared: PreparedPlan, parameters: Any = ()) -> QueryResult:
+        """Bind ``parameters`` into a prepared plan and execute it.
+
+        The hot path of the client API: binding validates arity, numeric type
+        and ``high >= low`` against the prepared template and seeds the
+        compiled plan's slot environment directly — the query never touches
+        SQL text again.  A handle lowered under an older cache generation
+        (schema or adaptive registration changed since) is re-prepared
+        transparently instead of serving a stale plan.
+        """
+        if prepared.generation != self.plan_cache.generation:
+            prepared = self.prepare_statement(prepared.sql)
+        values = prepared.binding.bind(parameters)
+        return self._run_prepared(prepared, values)
+
+    def execute_prepared_many(
+        self,
+        prepared: PreparedPlan,
+        seq_of_parameters: Sequence[Any],
+        *,
+        batch: bool = True,
+    ) -> list[QueryResult]:
+        """Run one prepared statement once per parameter binding.
+
+        All bindings are validated up front against the one prepared shape;
+        eligible range selections are then routed through the same
+        overlap-clustered shared-scan path as :meth:`execute_many`, with the
+        clusters computed on the *bound* bounds.
+        """
+        if prepared.generation != self.plan_cache.generation:
+            prepared = self.prepare_statement(prepared.sql)
+        bound = [prepared.binding.bind(parameters) for parameters in seq_of_parameters]
+        eligible = batch and self._batchable(prepared.statement)
+        items: list[tuple[str, SelectStatement | None]] = [
+            (
+                prepared.sql,
+                substitute_placeholders(prepared.statement, values) if eligible else None,
+            )
+            for values in bound
+        ]
+        results = self._run_with_batching(
+            items, lambda index: self._run_prepared(prepared, bound[index])
+        )
+        for result, values in zip(results, bound):
+            if result.batched:  # the shared scan records the placeholder text only
+                result.parameters = values
+        return results
+
+    def _run_prepared(self, prepared: PreparedPlan, values: tuple[float, ...]) -> QueryResult:
+        """Execute a prepared plan with already-validated bound values."""
+        total_started = time.perf_counter()
+        profile = QueryProfile(cold=False)
+        compiled = prepared.plan.compiled
+        context = self._acquire_context()
+        adaptive_before = self._adaptive_counters()
+        counters = compiled.new_counters()
+        execute_started = time.perf_counter()
+        compiled.execute_bound(context, prepared.slots, values, counters)
+        profile.execute_seconds = time.perf_counter() - execute_started
+        selection_seconds, adaptation_seconds = self._adaptive_delta(adaptive_before)
+        profile.attach_counters(compiled, counters)
+
+        result = QueryResult(
+            sql=prepared.sql,
+            parameters=values,
+            columns=context.exported_columns(),
+            scalars=dict(context.scalars),
+            plan_text=prepared.plan.text,
+            total_seconds=time.perf_counter() - total_started,
+            selection_seconds=selection_seconds,
+            adaptation_seconds=adaptation_seconds,
+            optimizer_seconds=execute_started - total_started,
+            plan_cache_hit=True,
+            cache_level="prepared",
             plan_cache_hits=self.plan_cache.hits,
             plan_cache_misses=self.plan_cache.misses,
             profile=profile,
@@ -352,7 +490,26 @@ class Database:
         order; batched results carry ``batched=True``.
         """
         statements = list(statements)
-        parsed = [self._batchable_statement(sql) if batch else None for sql in statements]
+        items = [
+            (sql, self._batchable_statement(sql) if batch else None) for sql in statements
+        ]
+        return self._run_with_batching(items, lambda index: self.execute(statements[index]))
+
+    def _run_with_batching(
+        self,
+        items: list[tuple[str, SelectStatement | None]],
+        fallback: Any,
+    ) -> list[QueryResult]:
+        """Cluster batchable statements into shared scans; run the rest via ``fallback``.
+
+        ``items`` pairs each statement's SQL text with its batch-eligible
+        parsed form (``None`` routes it through ``fallback(index)``, which
+        must record its own query history — both :meth:`execute` and
+        :meth:`_run_prepared` do).  This is the one clustering implementation
+        behind :meth:`execute_many` and :meth:`execute_prepared_many` (and
+        through the latter, ``Cursor.executemany``).
+        """
+        parsed = [statement for _, statement in items]
         groups: dict[tuple[str, str], list[int]] = {}
         for index, statement in enumerate(parsed):
             if statement is not None:
@@ -371,14 +528,14 @@ class Database:
 
         results: list[QueryResult] = []
         pending: dict[int, QueryResult] = {}
-        for index, sql in enumerate(statements):
+        for index, (sql, _) in enumerate(items):
             if index in pending:
                 result = pending.pop(index)
             elif index in group_of:
                 table, column, _ = group_of[index]
                 members = clusters[group_of[index]]
                 batch_results = self._execute_batch(
-                    table, column, [(statements[j], parsed[j]) for j in members]
+                    table, column, [(items[j][0], parsed[j]) for j in members]
                 )
                 for j, batched_result in zip(members, batch_results):
                     if j == index:
@@ -386,7 +543,7 @@ class Database:
                     else:
                         pending[j] = batched_result
             else:
-                results.append(self.execute(sql))  # appends to history itself
+                results.append(fallback(index))  # records its own history
                 continue
             self.query_history.append(result)
             results.append(result)
@@ -430,13 +587,22 @@ class Database:
             statement = parse(sql)
         except ValueError:
             return None
+        return statement if self._batchable(statement) else None
+
+    def _batchable(self, statement: SelectStatement) -> bool:
+        """Whether a statement's shape and table qualify for the shared scan.
+
+        Shape-level only — the bounds themselves do not matter (overlap
+        clustering decides later), so the check applies equally to a
+        placeholder statement before its bindings are substituted.
+        """
         if statement.is_aggregate or statement.limit is not None:
-            return None
+            return False
         if len(statement.predicates) != 1:
-            return None
+            return False
         predicate = statement.predicates[0]
         if isinstance(predicate, ComparisonPredicate) and predicate.operator == "<>":
-            return None
+            return False
         try:
             store = self.catalog.table(statement.table)
             schema = self.catalog.schema(statement.table)
@@ -446,11 +612,11 @@ class Database:
             for name in (*projected, predicate.column):
                 schema.dtype_of(name)
         except KeyError:
-            return None
+            return False
         if store.has_deltas:
             # Delta BATs take the full Figure-1 cascade; keep them on it.
-            return None
-        return statement
+            return False
+        return True
 
     def _execute_batch(
         self, table: str, column: str, members: list[tuple[str, SelectStatement]]
@@ -512,6 +678,7 @@ class Database:
                               f"[{envelope_low:g}, {envelope_high:g})",
                     selection_seconds=selection_seconds * share,
                     adaptation_seconds=adaptation_seconds * share,
+                    cache_level="batched",
                     plan_cache_hits=self.plan_cache.hits,
                     plan_cache_misses=self.plan_cache.misses,
                     batched=True,

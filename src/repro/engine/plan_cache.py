@@ -13,12 +13,22 @@ database short-circuits it with two key levels sharing one LRU store:
 * ``("sql", normalized_text)`` → :class:`BoundPlan` — the shape's plan plus
   the pre-extracted parameter values for one exact statement text, so
   repeating the identical query skips even the parse.
+* ``("prepared", normalized_text)`` → :class:`PreparedPlan` — the
+  placeholder-shape level of the client API: the normalized text *with its
+  ``?``/``:name`` placeholders* keys the lowered plan plus the pre-resolved
+  binding template (environment slots, arity, range checks).  Executing
+  through it skips the parse **and** the literal masking — binding validates
+  ``high >= low``, arity and numeric type against the template and seeds the
+  slot environment directly.
 
 Plans depend on the catalog schema and on which columns the BPM manages (the
 segment optimizer rewrites selections on managed columns), so the database
-clears the cache whenever either changes.  Data changes (inserts, deletes)
-do *not* invalidate: ``sql.bind`` resolves BATs at execution time, and
-compiled plans hold pre-resolved module callables, not data.
+clears the cache whenever either changes.  Externally-held prepared handles
+survive a clear via the monotonically increasing :attr:`PlanCache.generation`:
+a handle lowered under an older generation is re-prepared instead of served
+stale.  Data changes (inserts, deletes) do *not* invalidate: ``sql.bind``
+resolves BATs at execution time, and compiled plans hold pre-resolved module
+callables, not data.
 """
 
 from __future__ import annotations
@@ -28,6 +38,8 @@ from dataclasses import dataclass
 from typing import Any, Hashable
 
 from repro.mal.compiled import CompiledPlan
+from repro.sql.ast import SelectStatement
+from repro.sql.parameters import BindingSpec
 
 
 def normalize_sql(sql: str) -> str:
@@ -72,6 +84,28 @@ class TextShapePlan:
 
 
 @dataclass(frozen=True)
+class PreparedPlan:
+    """A lowered plan plus its binding template (the prepared-statement level).
+
+    ``sql`` is the normalized statement text *including placeholders* (the
+    cache key, and what a stale handle re-prepares from); ``statement`` keeps
+    the placeholder-parsed AST for the batched ``executemany`` clustering;
+    ``binding`` validates client parameters; ``slots`` maps placeholder
+    position → environment slot of the compiled plan (resolved once, at
+    prepare time); ``generation`` is the cache generation the plan was lowered
+    under — when it trails the cache's current generation the schema or an
+    adaptive registration changed and the plan must be re-lowered.
+    """
+
+    sql: str
+    plan: CachedPlan
+    statement: SelectStatement
+    binding: BindingSpec
+    slots: tuple[int, ...]
+    generation: int
+
+
+@dataclass(frozen=True)
 class PlanCacheStats:
     """A snapshot of the cache counters."""
 
@@ -101,6 +135,7 @@ class PlanCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.generation = 0
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -124,9 +159,16 @@ class PlanCache:
             self.evictions += 1
 
     def clear(self) -> None:
-        """Drop every cached plan (schema or adaptive registration changed)."""
+        """Drop every cached plan (schema or adaptive registration changed).
+
+        Always advances :attr:`generation`: prepared handles held outside the
+        cache (by :class:`~repro.api.PreparedStatement`) compare it to decide
+        whether their lowered plan is stale — even when the store happened to
+        be empty at clear time, the handles themselves may not be.
+        """
         if self._plans:
             self.invalidations += 1
+        self.generation += 1
         self._plans.clear()
 
     @property

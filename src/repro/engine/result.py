@@ -15,20 +15,28 @@ class QueryResult:
 
     ``columns`` holds the projected columns as numpy arrays (empty for pure
     aggregate queries); ``scalars`` holds aggregate values keyed by their
-    label (e.g. ``"count(*)"``).  The timing fields separate the work spent in
+    label (e.g. ``"count(*)"``).  On the prepared path ``sql`` is the
+    placeholder text and ``parameters`` carries the bound values (in
+    placeholder-position order), so ``query_history`` keeps enough to
+    reconstruct what each execution actually asked.  The timing fields separate the work spent in
     plain query processing from the work spent adapting the storage layout,
     which is the split Figure 10 of the paper reports.
 
     ``plan_cache_hit`` records whether the plan was served from the database's
-    plan cache — by exact text or by query shape (``plan_cache_hits``/
-    ``plan_cache_misses`` are the cache's cumulative counters at the time this
-    query finished); ``batched`` marks results answered by the shared-scan
-    path of ``execute_many``.  ``profile`` carries the per-stage wall-clock
-    split and per-opcode execution counters (``None`` on the batched path,
-    which bypasses plan execution entirely).
+    plan cache, and ``cache_level`` names the level that answered it —
+    ``"exact"`` (normalized text), ``"masked"`` (literal-masked text),
+    ``"shape"`` (parsed shape), ``"prepared"`` (placeholder-shape binding,
+    the client API's prepared path), ``"batched"`` (the shared-scan path) or
+    ``"cold"`` (nothing hit; the plan was compiled for this query).
+    ``plan_cache_hits``/``plan_cache_misses`` are the cache's cumulative
+    counters at the time this query finished; ``batched`` marks results
+    answered by the shared-scan path of ``execute_many``.  ``profile`` carries
+    the per-stage wall-clock split and per-opcode execution counters (``None``
+    on the batched path, which bypasses plan execution entirely).
     """
 
     sql: str
+    parameters: tuple[float, ...] = ()
     columns: dict[str, np.ndarray] = field(default_factory=dict)
     scalars: dict[str, float] = field(default_factory=dict)
     plan_text: str = ""
@@ -37,6 +45,7 @@ class QueryResult:
     adaptation_seconds: float = 0.0
     optimizer_seconds: float = 0.0
     plan_cache_hit: bool = False
+    cache_level: str = "cold"
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
     batched: bool = False
@@ -55,18 +64,34 @@ class QueryResult:
         return list(self.columns)
 
     def column(self, name: str) -> np.ndarray:
-        """One projected column by name."""
+        """One projected column by name.
+
+        A missing name raises the client API's ``ProgrammingError``, matching
+        :meth:`scalar` — the two accessors share one exception contract.
+        """
         try:
             return self.columns[name]
         except KeyError as exc:
-            raise KeyError(f"result has no column {name!r}; available: {self.column_names}") from exc
+            from repro.api.exceptions import ProgrammingError
+
+            raise ProgrammingError(
+                f"result has no column {name!r}; available: {self.column_names}"
+            ) from exc
 
     def scalar(self, label: str) -> float:
-        """One aggregate value by label, e.g. ``result.scalar("count(*)")``."""
+        """One aggregate value by label, e.g. ``result.scalar("count(*)")``.
+
+        A missing label raises the client API's ``ProgrammingError`` (matching
+        the strictness of ``ExecutionContext.export_scalar`` on the producing
+        side) rather than a bare ``KeyError``.
+        """
         try:
             return self.scalars[label]
         except KeyError as exc:
-            raise KeyError(
+            # Imported lazily: repro.api imports the engine at module level.
+            from repro.api.exceptions import ProgrammingError
+
+            raise ProgrammingError(
                 f"result has no aggregate {label!r}; available: {sorted(self.scalars)}"
             ) from exc
 

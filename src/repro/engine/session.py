@@ -8,6 +8,7 @@ prototype with a workload.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.engine.database import Database
@@ -66,11 +67,19 @@ class Session:
         return results
 
     def executemany(self, statements: list[str]) -> list[QueryResult]:
-        """Run a list of queries in order, one full execution per statement.
+        """Deprecated alias of ``execute_many(statements, batch=False)``.
 
         Kept on the original per-query contract (real per-query timings and
-        plans); opt into the shared-scan path with :meth:`execute_many`.
+        plans).  New code should use the DB-API surface —
+        ``repro.connect().cursor().executemany(sql, seq_of_params)`` — or
+        :meth:`execute_many` for the shared-scan batching.
         """
+        warnings.warn(
+            "Session.executemany is deprecated; use execute_many(batch=False) "
+            "or the repro.connect() cursor API",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.execute_many(statements, batch=False)
 
     @property

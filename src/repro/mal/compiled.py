@@ -104,6 +104,41 @@ class CompiledPlan:
                 index = slots.get(name)
                 if index is not None:
                     env[index] = value
+        return self._run(env, context, counts)
+
+    def parameter_slots(self, names: tuple[str, ...] | None = None) -> tuple[int, ...]:
+        """The environment slots of the given parameter names, in order.
+
+        Defaults to the plan's own declared ``parameters``.  This is the slot
+        template a prepared statement resolves *once*: each execution then
+        seeds the environment through :meth:`execute_bound` with no name
+        resolution at all.
+        """
+        if names is None:
+            names = self.parameters
+        return tuple(self._slots[name] for name in names)
+
+    def execute_bound(
+        self,
+        context: Any,
+        slots: tuple[int, ...],
+        values: tuple[Any, ...],
+        counts: list[int] | None = None,
+    ) -> list[Any]:
+        """Run the plan seeding ``env[slots[i]] = values[i]`` directly.
+
+        The name-free twin of :meth:`execute` used by the prepared-statement
+        path: ``slots`` comes from :meth:`parameter_slots` (resolved at
+        prepare time), so binding a query costs one list write per parameter.
+        """
+        env: list[Any] = [_UNSET] * len(self._slots)
+        for index, value in zip(slots, values):
+            env[index] = value
+        return self._run(env, context, counts)
+
+    def _run(
+        self, env: list[Any], context: Any, counts: list[int] | None = None
+    ) -> list[Any]:
         steps = self._steps
         n_steps = len(steps)
         pc = 0

@@ -16,30 +16,41 @@ MAL variable reference instead of baking the literal into the plan.
 
 from __future__ import annotations
 
+import math
 import re
 from dataclasses import dataclass, replace
+from decimal import Decimal
+from numbers import Real
+from typing import Any, Mapping, Sequence
 
-from repro.sql.ast import ComparisonPredicate, RangePredicate, SelectStatement
+from repro.sql.ast import (
+    ComparisonPredicate,
+    Parameter,
+    Placeholder,
+    RangePredicate,
+    SelectStatement,
+)
 from repro.sql.parser import NUMBER_PATTERN
+
+__all__ = [
+    "BindError",
+    "BindingSpec",
+    "Parameter",
+    "ParameterizedQuery",
+    "Placeholder",
+    "mask_literals",
+    "parameter_names",
+    "parameterize",
+    "prepared_binding",
+    "range_parameter_checks",
+    "statement_shape",
+    "substitute_placeholders",
+]
 
 #: A numeric literal as the tokenizer would lex it.  The lookbehind mirrors
 #: the tokenizer's greedy identifier consumption: a digit (or sign) directly
 #: attached to an identifier or another number never starts a fresh literal.
 _LITERAL_PATTERN = re.compile(rf"(?<![\w.]){NUMBER_PATTERN}")
-
-
-class Parameter(float):
-    """A numeric literal lifted into a named plan parameter."""
-
-    __slots__ = ("name",)
-
-    def __new__(cls, name: str, value: float) -> "Parameter":
-        parameter = super().__new__(cls, value)
-        parameter.name = name
-        return parameter
-
-    def __repr__(self) -> str:
-        return f"Parameter({self.name}={float(self)!r})"
 
 
 @dataclass(frozen=True)
@@ -57,6 +68,45 @@ class ParameterizedQuery:
     arguments: dict[str, float]
 
 
+def statement_shape(statement: SelectStatement) -> tuple:
+    """The hashable plan-cache *shape* key of a (parameterized) statement.
+
+    Bounds that are :class:`Parameter` instances are erased (tagged ``None``)
+    — their values arrive at bind time; plain literals keep their value, so a
+    statement mixing placeholders and baked literals never shares a plan with
+    the fully-lifted shape the literal path produces.  A fully-placeholder
+    prepared statement therefore hashes identically to the literal path's
+    lifted shape and *shares its compiled plan*.
+    """
+    def tag(value: float) -> float | None:
+        return None if isinstance(value, Parameter) else float(value)
+
+    shape_predicates: list[tuple] = []
+    for predicate in statement.predicates:
+        if isinstance(predicate, RangePredicate):
+            shape_predicates.append(
+                (
+                    "range",
+                    predicate.column,
+                    predicate.include_low,
+                    predicate.include_high,
+                    tag(predicate.low),
+                    tag(predicate.high),
+                )
+            )
+        else:
+            shape_predicates.append(
+                ("cmp", predicate.column, predicate.operator, tag(predicate.value))
+            )
+    return (
+        statement.table,
+        statement.columns,
+        statement.aggregates,
+        tuple(shape_predicates),
+        statement.limit,
+    )
+
+
 def parameterize(statement: SelectStatement) -> ParameterizedQuery:
     """Split ``statement`` into its shape and its literal parameter values."""
     arguments: dict[str, float] = {}
@@ -67,28 +117,17 @@ def parameterize(statement: SelectStatement) -> ParameterizedQuery:
         return Parameter(name, value)
 
     predicates: list[RangePredicate | ComparisonPredicate] = []
-    shape_predicates: list[tuple] = []
     for predicate in statement.predicates:
         if isinstance(predicate, RangePredicate):
             predicates.append(
                 replace(predicate, low=lift(predicate.low), high=lift(predicate.high))
             )
-            shape_predicates.append(
-                ("range", predicate.column, predicate.include_low, predicate.include_high)
-            )
         else:
             predicates.append(replace(predicate, value=lift(predicate.value)))
-            shape_predicates.append(("cmp", predicate.column, predicate.operator))
-    shape = (
-        statement.table,
-        statement.columns,
-        statement.aggregates,
-        tuple(shape_predicates),
-        statement.limit,
-    )
+    lifted = replace(statement, predicates=tuple(predicates))
     return ParameterizedQuery(
-        statement=replace(statement, predicates=tuple(predicates)),
-        shape=shape,
+        statement=lifted,
+        shape=statement_shape(lifted),
         arguments=arguments,
     )
 
@@ -129,6 +168,182 @@ def range_parameter_checks(statement: SelectStatement) -> tuple[tuple[int, int],
             if isinstance(low, Parameter) and isinstance(high, Parameter):
                 checks.append((int(low.name[3:]), int(high.name[3:])))
     return tuple(checks)
+
+
+class BindError(ValueError):
+    """A parameter binding that cannot be applied to a prepared statement.
+
+    Raised at *bind time* — wrong arity, non-numeric or NaN values, a named
+    binding for a positional statement (or vice versa), or range bounds with
+    ``high < low``.  The client API maps it onto ``ProgrammingError``.
+    """
+
+
+@dataclass(frozen=True)
+class BindingSpec:
+    """How client-supplied parameters map onto a prepared statement's slots.
+
+    ``style`` is ``"qmark"`` (positional ``?``), ``"named"`` (``:name``) or
+    ``"none"`` (no placeholders); ``keys`` holds, per placeholder position,
+    the client-facing key (the position itself for qmark, the lowercased name
+    for named — one name may cover several positions).  ``range_checks``
+    carries the ``high >= low`` validations the skipped parser would have
+    performed: per range predicate a ``(low_slot, low_const, high_slot,
+    high_const)`` tuple where a slot of ``-1`` means the bound is the baked
+    constant next to it.
+    """
+
+    style: str
+    keys: tuple[int | str, ...]
+    range_checks: tuple[tuple[int, float, int, float], ...]
+
+    @property
+    def count(self) -> int:
+        """Number of placeholder positions to bind."""
+        return len(self.keys)
+
+    def bind(self, parameters: Any) -> tuple[float, ...]:
+        """Validate ``parameters`` and return one float per placeholder position."""
+        if self.style == "named":
+            values = self._bind_named(parameters)
+        else:
+            values = self._bind_positional(parameters)
+        for low_slot, low_const, high_slot, high_const in self.range_checks:
+            low = values[low_slot] if low_slot >= 0 else low_const
+            high = values[high_slot] if high_slot >= 0 else high_const
+            if high < low:
+                raise BindError(
+                    f"range parameters violate high >= low: {high} < {low}"
+                )
+        return values
+
+    def _bind_positional(self, parameters: Any) -> tuple[float, ...]:
+        if parameters is None:
+            parameters = ()
+        if isinstance(parameters, Mapping):
+            raise BindError(
+                "statement uses positional '?' placeholders; "
+                "got a named parameter mapping"
+            )
+        # Any sized, indexable container works — tuples, lists, numpy arrays
+        # (which are not abc.Sequence) — but not a bare scalar, a string, or
+        # an unordered container (a set would bind in hash order).
+        if (
+            isinstance(parameters, (str, bytes))
+            or not hasattr(parameters, "__len__")
+            or not hasattr(parameters, "__getitem__")
+        ):
+            raise BindError(
+                f"parameters must be an ordered sequence, got {type(parameters).__name__}"
+            )
+        if len(parameters) != self.count:
+            raise BindError(
+                f"statement takes {self.count} parameter(s), got {len(parameters)}"
+            )
+        return tuple(self._coerce(value, key) for key, value in zip(self.keys, parameters))
+
+    def _bind_named(self, parameters: Any) -> tuple[float, ...]:
+        if not isinstance(parameters, Mapping):
+            raise BindError(
+                "statement uses named ':name' placeholders; "
+                f"got {type(parameters).__name__} instead of a mapping"
+            )
+        supplied: dict[str, Any] = {}
+        for key, value in parameters.items():
+            lowered = str(key).lower()
+            if lowered in supplied:
+                raise BindError(
+                    f"parameter {lowered!r} supplied more than once "
+                    "(names are case-insensitive)"
+                )
+            supplied[lowered] = value
+        expected = set(self.keys)
+        missing = expected - supplied.keys()
+        if missing:
+            raise BindError(f"missing named parameter(s): {sorted(missing)}")
+        extra = supplied.keys() - expected
+        if extra:
+            raise BindError(f"unknown named parameter(s): {sorted(extra)}")
+        return tuple(self._coerce(supplied[key], key) for key in self.keys)
+
+    @staticmethod
+    def _coerce(value: Any, key: int | str) -> float:
+        # Real covers int/float and the numpy scalar types; Decimal is the
+        # DB-API's standard exact-numeric type and converts losslessly enough
+        # for range bounds.  Booleans are deliberately not range bounds.
+        if isinstance(value, bool) or not isinstance(value, (Real, Decimal)):
+            raise BindError(
+                f"parameter {key!r} must be numeric, got {type(value).__name__}"
+            )
+        number = float(value)
+        if math.isnan(number):
+            raise BindError(f"parameter {key!r} is NaN; range bounds must be ordered")
+        return number
+
+
+def prepared_binding(statement: SelectStatement) -> BindingSpec:
+    """Derive the :class:`BindingSpec` of a placeholder-parsed statement."""
+    placeholders: list[Placeholder] = []
+    range_checks: list[tuple[int, float, int, float]] = []
+
+    def note(value: float) -> None:
+        if isinstance(value, Placeholder):
+            placeholders.append(value)
+
+    def check_part(value: float) -> tuple[int, float]:
+        if isinstance(value, Placeholder):
+            return value.index, 0.0
+        return -1, float(value)
+
+    for predicate in statement.predicates:
+        if isinstance(predicate, RangePredicate):
+            note(predicate.low)
+            note(predicate.high)
+            if isinstance(predicate.low, Placeholder) or isinstance(
+                predicate.high, Placeholder
+            ):
+                range_checks.append((*check_part(predicate.low), *check_part(predicate.high)))
+        else:
+            note(predicate.value)
+    placeholders.sort(key=lambda placeholder: placeholder.index)
+    if [placeholder.index for placeholder in placeholders] != list(range(len(placeholders))):
+        raise BindError("placeholder positions are not contiguous")  # pragma: no cover
+    if not placeholders:
+        style = "none"
+    elif isinstance(placeholders[0].key, int):
+        style = "qmark"
+    else:
+        style = "named"
+    return BindingSpec(
+        style=style,
+        keys=tuple(placeholder.key for placeholder in placeholders),
+        range_checks=tuple(range_checks),
+    )
+
+
+def substitute_placeholders(
+    statement: SelectStatement, values: Sequence[float]
+) -> SelectStatement:
+    """The statement with every placeholder replaced by its bound value.
+
+    Used by the batched ``executemany`` path, which clusters overlapping
+    ranges on the *concrete* bounds.  ``values`` must already be validated by
+    :meth:`BindingSpec.bind` (range ordering included).
+    """
+    def resolve(value: float) -> float:
+        if isinstance(value, Placeholder):
+            return float(values[value.index])
+        return value
+
+    predicates: list[RangePredicate | ComparisonPredicate] = []
+    for predicate in statement.predicates:
+        if isinstance(predicate, RangePredicate):
+            predicates.append(
+                replace(predicate, low=resolve(predicate.low), high=resolve(predicate.high))
+            )
+        else:
+            predicates.append(replace(predicate, value=resolve(predicate.value)))
+    return replace(statement, predicates=tuple(predicates))
 
 
 def parameter_names(statement: SelectStatement) -> tuple[str, ...]:

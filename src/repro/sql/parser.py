@@ -6,8 +6,18 @@ Grammar (case-insensitive keywords)::
     projection:= '*' | column (',' column)* | aggregate (',' aggregate)*
     aggregate := (SUM|COUNT|AVG|MIN|MAX) '(' (column | '*') ')'
     conjunction := predicate (AND predicate)*
-    predicate := column BETWEEN number AND number
-               | column ('<' | '<=' | '>' | '>=' | '=' | '<>') number
+    predicate := column BETWEEN operand AND operand
+               | column ('<' | '<=' | '>' | '>=' | '=' | '<>') operand
+    operand   := number | placeholder          (placeholders: prepared mode only)
+    placeholder := '?' | ':' identifier
+
+Placeholders are the prepared-statement surface of the client API: they lex
+always, but only :func:`parse` calls with ``placeholders=True`` accept them —
+the literal query path keeps rejecting ``?`` so an unbound placeholder can
+never slip into a plain :meth:`Database.execute`.  Positional ``?`` and named
+``:name`` styles cannot be mixed in one statement, and a named placeholder may
+appear at several positions (each position still becomes its own plan
+parameter, so prepared statements share compiled plans with the literal path).
 """
 
 from __future__ import annotations
@@ -15,7 +25,13 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
-from repro.sql.ast import Aggregate, ComparisonPredicate, RangePredicate, SelectStatement
+from repro.sql.ast import (
+    Aggregate,
+    ComparisonPredicate,
+    Placeholder,
+    RangePredicate,
+    SelectStatement,
+)
 
 
 class SQLSyntaxError(ValueError):
@@ -30,6 +46,7 @@ _TOKEN_PATTERN = re.compile(
     rf"""
     \s*(?:
         (?P<number>{NUMBER_PATTERN})
+      | (?P<placeholder>\?|:[A-Za-z_][A-Za-z0-9_]*)
       | (?P<identifier>[A-Za-z_][A-Za-z0-9_.]*)
       | (?P<operator><=|>=|<>|=|<|>)
       | (?P<punct>[(),*])
@@ -71,9 +88,12 @@ def _tokenize(text: str) -> list[_Token]:
 
 
 class _Parser:
-    def __init__(self, tokens: list[_Token]) -> None:
+    def __init__(self, tokens: list[_Token], *, placeholders: bool = False) -> None:
         self.tokens = tokens
         self.position = 0
+        self.allow_placeholders = placeholders
+        self.placeholder_style: str | None = None  # "qmark" | "named" once seen
+        self.placeholders: list[Placeholder] = []
 
     # -- token helpers ------------------------------------------------------
 
@@ -122,6 +142,34 @@ class _Parser:
         if token.kind != "number":
             raise SQLSyntaxError(f"expected a number, found {token.text!r}")
         return float(token.text)
+
+    def expect_operand(self) -> float:
+        """A predicate operand: a numeric literal or (in prepared mode) a placeholder."""
+        token = self.peek()
+        if token is not None and token.kind == "placeholder":
+            self.advance()
+            return self._make_placeholder(token.text)
+        return self.expect_number()
+
+    def _make_placeholder(self, text: str) -> Placeholder:
+        if not self.allow_placeholders:
+            raise SQLSyntaxError(
+                f"placeholder {text!r} is only allowed in prepared statements "
+                "(use Connection.prepare or pass parameters to Cursor.execute)"
+            )
+        style = "qmark" if text == "?" else "named"
+        if self.placeholder_style is None:
+            self.placeholder_style = style
+        elif self.placeholder_style != style:
+            raise SQLSyntaxError(
+                "cannot mix positional '?' and named ':name' placeholders "
+                "in one statement"
+            )
+        index = len(self.placeholders)
+        key: int | str = index if style == "qmark" else text[1:].lower()
+        placeholder = Placeholder(index, key)
+        self.placeholders.append(placeholder)
+        return placeholder
 
     # -- grammar --------------------------------------------------------------
 
@@ -182,22 +230,28 @@ class _Parser:
         token = self.peek()
         if token is not None and token.kind == "identifier" and token.lowered == "between":
             self.advance()
-            low = self.expect_number()
+            low = self.expect_operand()
             self.expect_keyword("and")
-            high = self.expect_number()
+            high = self.expect_operand()
             return RangePredicate(column=column, low=low, high=high)
         operator_token = self.advance()
         if operator_token.kind != "operator":
             raise SQLSyntaxError(
                 f"expected a comparison operator after {column!r}, found {operator_token.text!r}"
             )
-        value = self.expect_number()
+        value = self.expect_operand()
         return ComparisonPredicate(column=column, operator=operator_token.text, value=value)
 
 
-def parse(text: str) -> SelectStatement:
-    """Parse a query string into a :class:`SelectStatement`."""
+def parse(text: str, *, placeholders: bool = False) -> SelectStatement:
+    """Parse a query string into a :class:`SelectStatement`.
+
+    With ``placeholders=True`` (the prepared-statement path) predicate
+    operands may be ``?`` or ``:name`` placeholders, which parse into
+    :class:`~repro.sql.ast.Placeholder` parameters to be bound at execution
+    time; the default literal path rejects them with a syntax error.
+    """
     tokens = _tokenize(text)
     if not tokens:
         raise SQLSyntaxError("empty query")
-    return _Parser(tokens).parse_select()
+    return _Parser(tokens, placeholders=placeholders).parse_select()

@@ -77,10 +77,12 @@ class TestQueryExecution:
         assert result.scalar("count(*)") == int(((ra >= 0) & (ra <= 180)).sum())
 
     def test_unknown_column_in_result_lookup(self, database):
+        from repro.api.exceptions import ProgrammingError
+
         result = database.execute("SELECT objid FROM p WHERE ra BETWEEN 0 AND 1")
-        with pytest.raises(KeyError):
+        with pytest.raises(ProgrammingError):
             result.column("missing")
-        with pytest.raises(KeyError):
+        with pytest.raises(ProgrammingError):
             result.scalar("count(*)")
 
     def test_query_history_is_recorded(self, database):

@@ -112,8 +112,10 @@ class TestQueryResult:
         assert QueryResult(sql="x").to_rows() == []
 
     def test_missing_column_and_scalar_errors_name_alternatives(self):
+        from repro.api.exceptions import ProgrammingError
+
         result = self._result()
-        with pytest.raises(KeyError, match="available"):
+        with pytest.raises(ProgrammingError, match="available"):
             result.column("missing")
-        with pytest.raises(KeyError, match="available"):
+        with pytest.raises(ProgrammingError, match="available"):
             result.scalar("avg(a)")

@@ -189,3 +189,36 @@ class TestExecuteMany:
         assert len(session.results) == 2
         assert all(result.batched for result in results)
         assert session.plan_cache_stats.capacity == database.plan_cache.capacity
+
+
+class TestGenerationCounter:
+    def test_clear_advances_generation_even_when_empty(self):
+        cache = PlanCache(capacity=4)
+        assert cache.generation == 0
+        cache.clear()  # empty clear still invalidates external handles
+        assert cache.generation == 1
+        cache.put("a", "plan")
+        cache.clear()
+        assert cache.generation == 2
+        assert cache.invalidations == 1  # only the non-empty clear counts
+
+    def test_schema_and_adaptive_changes_advance_generation(self, database):
+        generation = database.plan_cache.generation
+        database.enable_adaptive("p", "ra", m_min=4 * KB, m_max=16 * KB)
+        assert database.plan_cache.generation == generation + 1
+        database.disable_adaptive("p", "ra")
+        assert database.plan_cache.generation == generation + 2
+
+
+class TestSessionExecutemanyDeprecation:
+    def test_executemany_warns_and_keeps_per_query_contract(self, database):
+        session = Session(database)
+        statements = [
+            "SELECT objid FROM p WHERE ra BETWEEN 10.0 AND 20.0",
+            "SELECT objid FROM p WHERE ra BETWEEN 15.0 AND 25.0",
+        ]
+        with pytest.warns(DeprecationWarning, match="execute_many"):
+            results = session.executemany(statements)
+        # batch=False: every statement took the full per-query path.
+        assert [result.batched for result in results] == [False, False]
+        assert session.timings.queries == 2

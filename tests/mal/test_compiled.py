@@ -185,3 +185,36 @@ class TestSlots:
         assert plan.slot_of("out") == 1
         with pytest.raises(KeyError):
             plan.slot_of("nope")
+
+
+class TestBoundExecution:
+    def _plan(self) -> CompiledPlan:
+        builder = ProgramBuilder("bound", parameters=("__p0", "__p1"))
+        builder.call("calc", "add", Var("__p0"), Var("__p1"), target="out")
+        return compile_program(builder.build(), make_registry())
+
+    def test_parameter_slots_default_to_declared_parameters(self):
+        plan = self._plan()
+        assert plan.parameter_slots() == (plan.slot_of("__p0"), plan.slot_of("__p1"))
+        assert plan.parameter_slots(("__p1",)) == (plan.slot_of("__p1"),)
+        with pytest.raises(KeyError):
+            plan.parameter_slots(("missing",))
+
+    def test_execute_bound_matches_execute(self):
+        plan = self._plan()
+        slots = plan.parameter_slots()
+        by_name = plan.execute(_Context(), {"__p0": 2.0, "__p1": 3.0})
+        by_slot = plan.execute_bound(_Context(), slots, (2.0, 3.0))
+        assert by_slot == by_name
+        assert by_slot[plan.slot_of("out")] == 5.0
+
+    def test_execute_bound_counts_instructions(self):
+        plan = self._plan()
+        counts = plan.new_counters()
+        plan.execute_bound(_Context(), plan.parameter_slots(), (1.0, 1.0), counts)
+        assert sum(counts) == len(plan)
+
+    def test_missing_binding_raises_undefined_variable(self):
+        plan = self._plan()
+        with pytest.raises(MALRuntimeError, match="__p1"):
+            plan.execute_bound(_Context(), plan.parameter_slots(("__p0",)), (1.0,))

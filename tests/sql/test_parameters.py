@@ -5,11 +5,16 @@ import pytest
 from repro.engine.plan_cache import normalize_sql
 from repro.sql.ast import ComparisonPredicate, RangePredicate
 from repro.sql.parameters import (
+    BindError,
+    BindingSpec,
     Parameter,
     mask_literals,
     parameter_names,
     parameterize,
+    prepared_binding,
     range_parameter_checks,
+    statement_shape,
+    substitute_placeholders,
 )
 from repro.sql.parser import parse
 
@@ -122,3 +127,114 @@ class TestRangeParameterChecks:
     def test_invalid_range_still_raises_at_parse_time(self):
         with pytest.raises(ValueError, match="high < low"):
             parse("SELECT x FROM t WHERE x BETWEEN 9 AND 3")
+
+
+class TestStatementShape:
+    def test_prepared_placeholder_shape_equals_lifted_literal_shape(self):
+        literal = shaped("SELECT objid FROM p WHERE ra BETWEEN 1.0 AND 2.0")
+        prepared = parse(
+            "SELECT objid FROM p WHERE ra BETWEEN ? AND ?", placeholders=True
+        )
+        assert statement_shape(prepared) == literal.shape
+
+    def test_mixed_literal_shape_is_distinct(self):
+        literal = shaped("SELECT objid FROM p WHERE ra BETWEEN 1.0 AND 20.0")
+        mixed = parse(
+            "SELECT objid FROM p WHERE ra BETWEEN ? AND 20.0", placeholders=True
+        )
+        assert statement_shape(mixed) != literal.shape
+
+    def test_different_literals_same_shape_after_lifting(self):
+        a = shaped("SELECT objid FROM p WHERE ra BETWEEN 1.0 AND 2.0")
+        b = shaped("SELECT objid FROM p WHERE ra BETWEEN 7.5 AND 9.5")
+        assert a.shape == b.shape
+
+
+def prepared_spec(sql: str) -> BindingSpec:
+    return prepared_binding(parse(sql, placeholders=True))
+
+
+class TestBindingSpec:
+    def test_qmark_spec(self):
+        spec = prepared_spec("SELECT objid FROM p WHERE ra BETWEEN ? AND ?")
+        assert spec.style == "qmark"
+        assert spec.keys == (0, 1)
+        assert spec.range_checks == ((0, 0.0, 1, 0.0),)
+        assert spec.bind((1.0, 2.0)) == (1.0, 2.0)
+
+    def test_named_spec_case_insensitive(self):
+        spec = prepared_spec("SELECT objid FROM p WHERE ra BETWEEN :lo AND :hi")
+        assert spec.style == "named"
+        assert spec.keys == ("lo", "hi")
+        assert spec.bind({"LO": 1, "hi": 2.5}) == (1.0, 2.5)
+
+    def test_no_placeholders(self):
+        spec = prepared_spec("SELECT objid FROM p WHERE ra BETWEEN 1.0 AND 2.0")
+        assert spec.style == "none" and spec.count == 0
+        assert spec.bind(()) == ()
+        assert spec.bind(None) == ()
+        with pytest.raises(BindError):
+            spec.bind((1.0,))
+
+    def test_mixed_range_check_against_baked_literal(self):
+        spec = prepared_spec("SELECT objid FROM p WHERE ra BETWEEN ? AND 10.0")
+        assert spec.range_checks == ((0, 0.0, -1, 10.0),)
+        assert spec.bind((3.0,)) == (3.0,)
+        with pytest.raises(BindError, match="high >= low"):
+            spec.bind((11.0,))
+
+    def test_comparison_placeholders_have_no_range_checks(self):
+        spec = prepared_spec("SELECT objid FROM p WHERE ra < ? AND ra > ?")
+        assert spec.range_checks == ()
+        # No ordering constraint between independent comparisons.
+        assert spec.bind((1.0, 99.0)) == (1.0, 99.0)
+
+    def test_bind_rejects_nan_but_not_inf(self):
+        spec = prepared_spec("SELECT objid FROM p WHERE ra BETWEEN ? AND ?")
+        with pytest.raises(BindError, match="NaN"):
+            spec.bind((float("nan"), 1.0))
+        assert spec.bind((float("-inf"), float("inf"))) == (float("-inf"), float("inf"))
+
+    def test_bind_rejects_non_numeric_and_bool(self):
+        spec = prepared_spec("SELECT objid FROM p WHERE ra < ?")
+        for bad in ("1", None, object(), [1.0], True):
+            with pytest.raises(BindError, match="numeric"):
+                spec.bind((bad,))
+
+
+class TestSubstitutePlaceholders:
+    def test_substitution_produces_concrete_statement(self):
+        statement = parse(
+            "SELECT objid FROM p WHERE ra BETWEEN ? AND ?", placeholders=True
+        )
+        spec = prepared_binding(statement)
+        concrete = substitute_placeholders(statement, spec.bind((2.0, 4.0)))
+        predicate = concrete.predicates[0]
+        assert not isinstance(predicate.low, Parameter)
+        assert (predicate.low, predicate.high) == (2.0, 4.0)
+
+    def test_substitution_keeps_baked_literals(self):
+        statement = parse(
+            "SELECT objid FROM p WHERE ra BETWEEN ? AND 9.0", placeholders=True
+        )
+        concrete = substitute_placeholders(statement, (3.0,))
+        assert (concrete.predicates[0].low, concrete.predicates[0].high) == (3.0, 9.0)
+
+    def test_named_keys_colliding_by_case_rejected(self):
+        spec = prepared_spec("SELECT objid FROM p WHERE ra BETWEEN :lo AND :hi")
+        with pytest.raises(BindError, match="more than once"):
+            spec.bind({"lo": 1.0, "hi": 2.0, "HI": 3.0})
+
+    def test_decimal_accepted(self):
+        from decimal import Decimal
+
+        spec = prepared_spec("SELECT objid FROM p WHERE ra BETWEEN ? AND ?")
+        assert spec.bind((Decimal("1.5"), Decimal("2"))) == (1.5, 2.0)
+        with pytest.raises(BindError, match="NaN"):
+            spec.bind((Decimal("NaN"), Decimal("2")))
+
+    def test_unordered_containers_rejected(self):
+        spec = prepared_spec("SELECT objid FROM p WHERE ra BETWEEN ? AND ?")
+        for bad in ({1.0, 2.0}, frozenset({1.0, 2.0}), {"a": 1.0, "b": 2.0}.values()):
+            with pytest.raises(BindError, match="ordered sequence"):
+                spec.bind(bad)

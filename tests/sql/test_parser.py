@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.sql.ast import Aggregate, ComparisonPredicate, RangePredicate, SelectStatement
+from repro.sql.ast import (
+    Aggregate,
+    ComparisonPredicate,
+    Placeholder,
+    RangePredicate,
+    SelectStatement,
+)
 from repro.sql.parser import SQLSyntaxError, parse
 
 
@@ -98,3 +104,59 @@ class TestASTValidation:
             SelectStatement(table="p")
         with pytest.raises(ValueError):
             SelectStatement(table="p", columns=("a",), aggregates=(Aggregate("count", None),))
+
+
+class TestPlaceholders:
+    def test_qmark_placeholders_parse_in_prepared_mode(self):
+        statement = parse(
+            "SELECT objid FROM p WHERE ra BETWEEN ? AND ?", placeholders=True
+        )
+        predicate = statement.predicates[0]
+        assert isinstance(predicate, RangePredicate)
+        assert isinstance(predicate.low, Placeholder)
+        assert isinstance(predicate.high, Placeholder)
+        assert (predicate.low.index, predicate.high.index) == (0, 1)
+        assert (predicate.low.key, predicate.high.key) == (0, 1)
+        assert (predicate.low.name, predicate.high.name) == ("__p0", "__p1")
+
+    def test_named_placeholders_keep_their_key(self):
+        statement = parse(
+            "SELECT objid FROM p WHERE ra BETWEEN :lo AND :Hi", placeholders=True
+        )
+        predicate = statement.predicates[0]
+        assert (predicate.low.key, predicate.high.key) == ("lo", "hi")
+        assert (predicate.low.index, predicate.high.index) == (0, 1)
+
+    def test_repeated_name_gets_distinct_positions(self):
+        statement = parse(
+            "SELECT objid FROM p WHERE ra >= :x AND ra <= :x", placeholders=True
+        )
+        first, second = statement.predicates
+        assert first.value.key == second.value.key == "x"
+        assert (first.value.index, second.value.index) == (0, 1)
+        assert (first.value.name, second.value.name) == ("__p0", "__p1")
+
+    def test_comparison_placeholder(self):
+        statement = parse("SELECT objid FROM p WHERE ra < ?", placeholders=True)
+        assert isinstance(statement.predicates[0].value, Placeholder)
+
+    def test_placeholders_rejected_outside_prepared_mode(self):
+        with pytest.raises(SQLSyntaxError, match="prepared"):
+            parse("SELECT objid FROM p WHERE ra < ?")
+        with pytest.raises(SQLSyntaxError, match="prepared"):
+            parse("SELECT objid FROM p WHERE ra BETWEEN :lo AND :hi")
+
+    def test_mixed_styles_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="mix"):
+            parse("SELECT objid FROM p WHERE ra BETWEEN ? AND :hi", placeholders=True)
+
+    def test_placeholder_not_allowed_in_limit(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT objid FROM p LIMIT ?", placeholders=True)
+
+    def test_range_with_placeholder_skips_parse_time_ordering(self):
+        # NaN payloads defeat the high < low check; bind time re-applies it.
+        statement = parse(
+            "SELECT objid FROM p WHERE ra BETWEEN ? AND 5.0", placeholders=True
+        )
+        assert statement.predicates[0].high == 5.0
