@@ -23,6 +23,7 @@ import time
 import numpy as np
 
 from repro.engine.database import Database
+from repro.engine.profile import QueryProfile
 
 N_ROWS = 2_000
 N_ITERATIONS = 300
@@ -60,10 +61,10 @@ def measure_plan_cache(database: Database | None = None) -> dict[str, float]:
 
     def plan_cold():
         database.plan_cache.clear()
-        database._plan_for(SQL)
+        database._prepare(SQL, QueryProfile())
 
     def plan_warm():
-        database._plan_for(SQL)
+        database._prepare(SQL, QueryProfile())
 
     def execute_cold():
         database.plan_cache.clear()
@@ -74,10 +75,10 @@ def measure_plan_cache(database: Database | None = None) -> dict[str, float]:
 
     database.execute(SQL)  # prime interpreter/module state
     plan_cold_s = _best_of(3, plan_cold)
-    database._plan_for(SQL)  # prime the cache
+    database._prepare(SQL, QueryProfile())  # prime the cache
     plan_warm_s = _best_of(3, plan_warm)
     execute_cold_s = _best_of(3, execute_cold)
-    database._plan_for(SQL)
+    database._prepare(SQL, QueryProfile())
     execute_warm_s = _best_of(3, execute_warm)
     return {
         "plan_cold_s": plan_cold_s,

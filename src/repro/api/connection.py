@@ -103,6 +103,16 @@ class Admin:
         """The plan cache counters (hits, misses, hit ratio, generation)."""
         return self._database().plan_cache.stats
 
+    def cache_stats(self) -> dict[str, Any]:
+        """Per-level plan-cache counters (see :meth:`Database.cache_stats`).
+
+        ``levels`` splits hits/misses/evictions/entries by cache level —
+        ``exact`` (normalized text), ``masked`` (literal-masked text),
+        ``shape`` (parsed shape) and ``prepared`` (placeholder binding) —
+        and ``total`` carries the cache-wide counters.
+        """
+        return self._database().cache_stats()
+
 
 class Connection:
     """A DB-API 2.0 connection to one self-organizing column-store instance.

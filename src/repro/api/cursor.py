@@ -7,8 +7,8 @@ prepared path — the statement's placeholder shape is looked up (or lowered
 once) in the plan cache and the bindings are validated and written straight
 into the compiled plan's slot environment, skipping both the parse and the
 literal masking.  ``executemany`` binds every parameter set against one
-prepared shape and routes overlapping range selections through the engine's
-shared-scan batch clustering.
+prepared shape and routes same-column range selections — overlapping and
+disjoint alike — through the engine's vectorized batch executor.
 """
 
 from __future__ import annotations
@@ -93,10 +93,11 @@ class Cursor:
         """Run one parameterized statement once per parameter set.
 
         The statement is prepared exactly once; every binding is validated
-        against that one shape up front.  Overlapping same-column range
-        selections are answered from one shared scan (the engine's batch
-        clustering); everything else executes individually.  The fetchable
-        rows are the concatenation of every execution's rows, in input order.
+        against that one shape up front.  Same-column range selections —
+        overlapping and disjoint alike — are answered by the engine's
+        vectorized batch executor (one kernel pass for the whole batch);
+        everything else executes individually.  The fetchable rows are the
+        concatenation of every execution's rows, in input order.
         """
         self._check_open()
         database = self._connection._database

@@ -75,7 +75,7 @@ class PreparedStatement:
             return self._connection._database.execute_prepared(plan, parameters)
 
     def executemany(self, seq_of_parameters: Sequence[Any]) -> list[QueryResult]:
-        """Run once per parameter set, batching overlapping range selects."""
+        """Run once per parameter set; range selects batch into one vectorized pass."""
         plan = self._refresh()
         with translating():
             return self._connection._database.execute_prepared_many(

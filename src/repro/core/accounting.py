@@ -41,6 +41,11 @@ class QueryStats:
     splits_performed: int = 0
     replicas_materialized: int = 0
     segments_dropped: int = 0
+    #: Number of member queries this record covers.  1 for the per-query
+    #: paths; the batched ``select_many`` kernels append one record per
+    #: *batch* (their access statistics are genuinely shared), so consumers
+    #: averaging per-query cost divide by this.
+    batch_size: int = 1
 
     @property
     def total_seconds(self) -> float:

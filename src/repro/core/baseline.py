@@ -16,13 +16,14 @@ paper uses as the experimental control.
 from __future__ import annotations
 
 import time
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.accounting import IOAccountant, QueryLog, QueryStats
 from repro.core.ranges import ValueRange, domain_of
 from repro.core.segment import SelectionResult, Segment
-from repro.core.strategy import AdaptiveColumnBase, register_strategy
+from repro.core.strategy import AdaptiveColumnBase, batch_bounds_arrays, register_strategy
 
 
 @register_strategy
@@ -32,6 +33,7 @@ class UnsegmentedColumn(AdaptiveColumnBase):
     strategy_name = "unsegmented"
     requires_model = False
     display_short = "NoSegm"
+    supports_batch = True
 
     def __init__(
         self,
@@ -117,6 +119,46 @@ class UnsegmentedColumn(AdaptiveColumnBase):
         if self.history is not None:
             self.history.append(stats)
         return result
+
+    def select_many(
+        self, bounds: Sequence[tuple[float, float]]
+    ) -> list[SelectionResult]:
+        """Answer N range selections from **one** scan of the column.
+
+        The batch kernel probes the cached one-segment sorted view
+        (:attr:`segments`) with arrays of bounds — two ``np.searchsorted``
+        calls for the whole batch — so member results come back in value
+        order rather than the per-query path's load order (the two are
+        permutations of each other).  The batch's access statistics reflect
+        the amortization: one full-column read serves every member, recorded
+        as a single :class:`QueryStats` with ``batch_size == len(bounds)``.
+        """
+        lows, highs = batch_bounds_arrays(bounds)
+        if lows.size == 0:
+            return []
+        stats = QueryStats(
+            index=self._queries_executed,
+            low=float(lows.min()),
+            high=float(highs.max()),
+            batch_size=int(lows.size),
+        )
+        self.accountant.attach(stats)
+        try:
+            self.accountant.record_read(self.total_bytes, self)
+            started = time.perf_counter() if self._time_phases else 0.0
+            view = self.segments[0]
+            results = view.select_many(lows, highs)
+            if self._time_phases:
+                stats.selection_seconds = time.perf_counter() - started
+        finally:
+            self.accountant.detach()
+        stats.result_count = sum(result.count for result in results)
+        stats.segment_count = 1
+        stats.storage_bytes = self.storage_bytes
+        self._queries_executed += int(lows.size)
+        if self.history is not None:
+            self.history.append(stats)
+        return results
 
     def check_invariants(self) -> None:
         """The baseline has a single invariant: its payload matches its domain."""

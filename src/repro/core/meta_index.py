@@ -12,6 +12,8 @@ from __future__ import annotations
 import bisect
 from collections.abc import Iterable, Iterator
 
+import numpy as np
+
 from repro.core.ranges import ValueRange
 from repro.core.segment import Segment
 
@@ -28,6 +30,7 @@ class SegmentMetaIndex:
     def __init__(self, segments: Iterable[Segment] = ()) -> None:
         self._segments: list[Segment] = []
         self._lows: list[float] = []
+        self._highs: list[float] = []
         for segment in segments:
             self.add(segment)
 
@@ -61,6 +64,7 @@ class SegmentMetaIndex:
                     )
         self._segments.insert(position, segment)
         self._lows.insert(position, segment.vrange.low)
+        self._highs.insert(position, segment.vrange.high)
 
     def replace(self, old: Segment, new_segments: list[Segment]) -> None:
         """Replace ``old`` with its sub-segments (after an adaptive split).
@@ -80,9 +84,11 @@ class SegmentMetaIndex:
             raise KeyError(f"segment {old.vrange} is not in the index")
         del self._segments[position]
         del self._lows[position]
+        del self._highs[position]
         for offset, segment in enumerate(sorted(new_segments, key=lambda s: s.vrange.low)):
             self._segments.insert(position + offset, segment)
             self._lows.insert(position + offset, segment.vrange.low)
+            self._highs.insert(position + offset, segment.vrange.high)
 
     # -- lookups ------------------------------------------------------------
 
@@ -114,6 +120,28 @@ class SegmentMetaIndex:
             for segment in self.overlapping(vrange)
         ]
 
+    def route_many(self, lows: np.ndarray, highs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized overlap lookup: segment index spans for N ranges at once.
+
+        Returns per-range ``(start, stop)`` positions such that
+        ``self[start:stop]`` are exactly the segments :meth:`overlapping`
+        would return for the half-open range ``[lows[i], highs[i])`` — the
+        whole batch is classified against the segment bounds in two
+        ``np.searchsorted`` passes instead of N bisect walks.  Empty ranges
+        (``low >= high``) yield empty spans, matching ``overlapping`` on an
+        empty :class:`ValueRange`.  Combine with
+        ``vrange.contains_range``-style bound comparisons to recover the
+        *fully contained* tag of :meth:`overlapping_classified`.
+        """
+        seg_lows = np.asarray(self._lows, dtype=np.float64)
+        seg_highs = np.asarray(self._highs, dtype=np.float64)
+        # Segments are ordered and non-overlapping, so their highs are sorted
+        # too: the overlap span is [first high > low, first low >= high).
+        starts = np.searchsorted(seg_highs, lows, side="right")
+        stops = np.searchsorted(seg_lows, highs, side="left")
+        stops = np.where((np.asarray(lows) >= np.asarray(highs)) | (stops < starts), starts, stops)
+        return starts, stops
+
     def covering(self, value: float) -> Segment | None:
         """The segment containing ``value``, or ``None``."""
         position = bisect.bisect_right(self._lows, value) - 1
@@ -141,5 +169,7 @@ class SegmentMetaIndex:
                 )
         if [s.vrange.low for s in self._segments] != self._lows:
             raise AssertionError("meta-index low-bound cache is stale")
+        if [s.vrange.high for s in self._segments] != self._highs:
+            raise AssertionError("meta-index high-bound cache is stale")
         for segment in self._segments:
             segment.check_invariants()

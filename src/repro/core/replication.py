@@ -44,6 +44,12 @@ class ReplicatedColumn(AdaptiveColumnBase):
     strategy_name = "replication"
     requires_model = True
     display_short = "Repl"
+    #: Replication answers batches through the inherited sequential
+    #: ``select_many`` fallback: Algorithm 2 interleaves cover computation,
+    #: replica analysis and materialization per query, and each query's
+    #: minimal cover depends on the replicas the previous one materialized —
+    #: a batch kernel would have to re-derive the tree per member anyway.
+    supports_batch = False
 
     def __init__(
         self,

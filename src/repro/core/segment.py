@@ -43,7 +43,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.ranges import ValueRange
-from repro.util.sorted_search import sorted_probe
+from repro.util.sorted_search import sorted_probe, sorted_probe_many
 
 
 def is_value_sorted(values: np.ndarray) -> bool:
@@ -233,6 +233,33 @@ class Segment:
         if lo == 0 and hi == self.values.size:
             return SelectionResult(self.values, self.oids, values_sorted=True)
         return SelectionResult(self.values[lo:hi], self.oids[lo:hi], values_sorted=True)
+
+    def bounds_many(self, lows: np.ndarray, highs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Positional slices ``[lo_i, hi_i)`` for N half-open ranges at once.
+
+        Two ``np.searchsorted`` calls answer the whole batch — the vectorized
+        counterpart of :meth:`bounds`, with identical per-range semantics
+        (``side="left"`` probes over the sorted payload).
+        """
+        self._require_data()
+        return (
+            sorted_probe_many(self.values, lows, side="left"),
+            sorted_probe_many(self.values, highs, side="left"),
+        )
+
+    def select_many(self, lows: np.ndarray, highs: np.ndarray) -> list[SelectionResult]:
+        """Extract the values (and oids) of N half-open ranges in one batch.
+
+        Every result is a zero-copy view slice of the segment payload (no
+        envelope over-scan: each range gets exactly its own ``[lo, hi)``
+        slice).  An empty or reversed range yields an empty result.
+        """
+        los, his = self.bounds_many(lows, highs)
+        values, oids = self.values, self.oids
+        return [
+            SelectionResult(values[lo:hi], oids[lo:hi], values_sorted=True)
+            for lo, hi in zip(los.tolist(), his.tolist())
+        ]
 
     def extract(self, vrange: ValueRange) -> "Segment":
         """A new materialized segment holding this segment's data in ``vrange``.

@@ -22,12 +22,14 @@ import time
 
 import numpy as np
 
+from typing import Sequence
+
 from repro.core.accounting import IOAccountant, QueryLog, QueryStats
 from repro.core.meta_index import SegmentMetaIndex
 from repro.core.models import SegmentationModel
 from repro.core.ranges import ValueRange, domain_of
 from repro.core.segment import SelectionResult, Segment
-from repro.core.strategy import AdaptiveColumnBase, register_strategy
+from repro.core.strategy import AdaptiveColumnBase, batch_bounds_arrays, register_strategy
 
 
 @register_strategy
@@ -56,6 +58,7 @@ class SegmentedColumn(AdaptiveColumnBase):
     strategy_name = "segmentation"
     requires_model = True
     display_short = "Segm"
+    supports_batch = True
 
     def __init__(
         self,
@@ -137,6 +140,48 @@ class SegmentedColumn(AdaptiveColumnBase):
         self.model.observe(result.count * self.value_width)
         return result
 
+    def select_many(
+        self, bounds: Sequence[tuple[float, float]]
+    ) -> list[SelectionResult]:
+        """Answer N half-open range selections with a vectorized batch kernel.
+
+        The whole batch is routed against the segment bounds in one
+        ``np.searchsorted`` pass (:meth:`SegmentMetaIndex.route_many`) and
+        every touched segment answers all of its member queries with one
+        probe batch (:meth:`Segment.bounds_many`) — O(touched segments) numpy
+        calls for the entire batch, never O(N).
+
+        Piggy-backed adaptation fires **once per batch**: each touched
+        segment sees a single split decision against the envelope of the
+        member ranges that overlap it, and the model observes the batch's
+        mean result size.  Access statistics are genuinely shared — each
+        touched segment is read once for the whole batch — so one
+        :class:`QueryStats` record with ``batch_size == len(bounds)`` is
+        appended to :attr:`history`.
+        """
+        lows, highs = batch_bounds_arrays(bounds)
+        if lows.size == 0:
+            return []
+        stats = QueryStats(
+            index=self._queries_executed,
+            low=float(lows.min()),
+            high=float(highs.max()),
+            batch_size=int(lows.size),
+        )
+        self.accountant.attach(stats)
+        try:
+            results = self._execute_batch(lows, highs, stats)
+        finally:
+            self.accountant.detach()
+        stats.result_count = sum(result.count for result in results)
+        stats.segment_count = self.segment_count
+        stats.storage_bytes = self.storage_bytes
+        self._queries_executed += int(lows.size)
+        if self.history is not None:
+            self.history.append(stats)
+        self.model.observe(stats.result_count * self.value_width / lows.size)
+        return results
+
     # -- internals ------------------------------------------------------------
 
     def _now(self) -> float:
@@ -167,6 +212,87 @@ class SegmentedColumn(AdaptiveColumnBase):
         result = SelectionResult.concatenate(parts, self.dtype)
         stats.selection_seconds += self._now() - started
         return result
+
+    def _execute_batch(
+        self, lows: np.ndarray, highs: np.ndarray, stats: QueryStats
+    ) -> list[SelectionResult]:
+        started = self._now()
+        starts, stops = self.meta_index.route_many(lows, highs)
+        n = int(lows.size)
+        low_list = lows.tolist()
+        high_list = highs.tolist()
+        # Per-query (values, oids) slice pairs; raw tuples until assembly so
+        # the hot loop builds no intermediate SelectionResults.
+        parts: list[list[tuple[np.ndarray, np.ndarray]]] = [[] for _ in range(n)]
+        touched: dict[int, list[int]] = {}
+        for q, (start, stop) in enumerate(zip(starts.tolist(), stops.tolist())):
+            for s in range(start, stop):
+                touched.setdefault(s, []).append(q)
+
+        split_jobs: list[tuple[Segment, ValueRange]] = []
+        for s in sorted(touched):
+            queries = touched[s]
+            segment = self.meta_index[s]
+            # One read answers every member query that overlaps this segment
+            # — this is the batch's amortization of the shared scan.
+            self.accountant.record_read(segment.size_bytes, segment)
+            seg_low, seg_high = segment.vrange.low, segment.vrange.high
+            seg_values, seg_oids = segment.values, segment.oids
+            partial: list[int] = []
+            for q in queries:
+                if low_list[q] <= seg_low and high_list[q] >= seg_high:
+                    # Meta-index fast path, exactly as in _execute: the whole
+                    # (sorted) payload answers a fully-contained member.
+                    parts[q].append((seg_values, seg_oids))
+                else:
+                    partial.append(q)
+            if partial:
+                los, his = segment.bounds_many(lows[partial], highs[partial])
+                for q, lo, hi in zip(partial, los.tolist(), his.tolist()):
+                    parts[q].append((seg_values[lo:hi], seg_oids[lo:hi]))
+            # Adaptation is deferred so every member reads pre-split payloads
+            # (the returned views stay valid across splits regardless — splits
+            # are slices over the same base array).
+            split_jobs.append(
+                (
+                    segment,
+                    ValueRange(
+                        min(low_list[q] for q in queries),
+                        max(high_list[q] for q in queries),
+                    ),
+                )
+            )
+        stats.selection_seconds += self._now() - started
+
+        started = self._now()
+        for segment, envelope in split_jobs:
+            decision = self.model.decide(envelope, segment, total_bytes=self.total_bytes)
+            if decision.should_split:
+                self._split(segment, list(decision.points), stats)
+        stats.adaptation_seconds += self._now() - started
+
+        started = self._now()
+        # Per-query parts were appended in ascending segment order over
+        # disjoint sorted payloads, so a multi-part result is already in
+        # ascending value order (what concatenate() would verify).
+        results: list[SelectionResult] = []
+        for q in range(n):
+            q_parts = parts[q]
+            if not q_parts:
+                results.append(SelectionResult.empty(self.dtype))
+            elif len(q_parts) == 1:
+                values, oids = q_parts[0]
+                results.append(SelectionResult(values, oids, values_sorted=True))
+            else:
+                results.append(
+                    SelectionResult(
+                        np.concatenate([values for values, _ in q_parts]),
+                        np.concatenate([oids for _, oids in q_parts]),
+                        values_sorted=True,
+                    )
+                )
+        stats.selection_seconds += self._now() - started
+        return results
 
     def _split(self, segment: Segment, points: list[float], stats: QueryStats) -> None:
         pieces = segment.partition(points)

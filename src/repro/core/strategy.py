@@ -14,7 +14,10 @@ Public surface:
 
 * :class:`AdaptiveColumnStrategy` — the runtime-checkable protocol.
 * :class:`AdaptiveColumnBase` — mixin providing ``stats``/``adapt``/
-  ``describe``/``paper_label`` on top of a concrete ``select``.
+  ``select_many``/``describe``/``paper_label`` on top of a concrete
+  ``select``.
+* :func:`batch_bounds_arrays` — shared validation for the batched
+  ``select_many`` hook (mirrors :class:`~repro.core.ranges.ValueRange`).
 * :func:`register_strategy` / :func:`unregister_strategy` — registry admin.
 * :func:`strategy_class` / :func:`available_strategies` — lookup.
 * :func:`create_strategy` — the factory every layer builds columns through.
@@ -23,13 +26,43 @@ Public surface:
 from __future__ import annotations
 
 import inspect
-from typing import Any, ClassVar, Protocol, runtime_checkable
+from typing import Any, ClassVar, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from repro.core.accounting import QueryLog, QueryStats
 from repro.core.ranges import ValueRange
 from repro.core.segment import SelectionResult
+
+
+def batch_bounds_arrays(
+    bounds: Sequence[tuple[float, float]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a batch of ``(low, high)`` pairs into two float arrays.
+
+    Applies the same constraints :class:`~repro.core.ranges.ValueRange`
+    enforces per query (finite bounds, ``high >= low``) so the batched and
+    per-query paths reject malformed ranges identically.  An ``(n, 2)``
+    float array is accepted directly (its columns become the bound arrays
+    without a per-element conversion) — the form the engine's batch executor
+    hands over.
+    """
+    if isinstance(bounds, np.ndarray):
+        if bounds.ndim != 2 or bounds.shape[1] != 2:
+            raise ValueError(
+                f"batch bounds array must have shape (n, 2), got {bounds.shape}"
+            )
+        array = bounds.astype(np.float64, copy=False)
+        lows, highs = array[:, 0], array[:, 1]
+    else:
+        lows = np.asarray([float(low) for low, _ in bounds], dtype=np.float64)
+        highs = np.asarray([float(high) for _, high in bounds], dtype=np.float64)
+    if lows.size:
+        if not (np.isfinite(lows).all() and np.isfinite(highs).all()):
+            raise ValueError("batch range bounds must be finite")
+        if bool(np.any(highs < lows)):
+            raise ValueError("batch range bounds must satisfy high >= low")
+    return lows, highs
 
 
 @runtime_checkable
@@ -56,6 +89,10 @@ class AdaptiveColumnStrategy(Protocol):
 
     def select(self, low: float, high: float) -> SelectionResult: ...
 
+    def select_many(
+        self, bounds: Sequence[tuple[float, float]]
+    ) -> list[SelectionResult]: ...
+
     def stats(self) -> QueryStats | None: ...
 
     def adapt(self, low: float, high: float) -> QueryStats | None: ...
@@ -79,6 +116,10 @@ class AdaptiveColumnBase:
     requires_model: ClassVar[bool] = True
     #: Label fragment in the paper's style ("Segm", "Repl", "NoSegm").
     display_short: ClassVar[str] = ""
+    #: Whether :meth:`select_many` is a vectorized batch kernel.  ``False``
+    #: means the sequential fallback below answers batches one query at a
+    #: time (correct for every strategy; just not amortized).
+    supports_batch: ClassVar[bool] = False
 
     # Concrete subclasses provide these (declared for type checkers only).
     history: QueryLog | None
@@ -98,6 +139,21 @@ class AdaptiveColumnBase:
         if history is None or len(history) == 0:
             return None
         return history[-1]
+
+    def select_many(
+        self, bounds: Sequence[tuple[float, float]]
+    ) -> list[SelectionResult]:
+        """Answer N half-open range selections ``[low_i, high_i)`` at once.
+
+        This base implementation is the tested sequential fallback: one
+        :meth:`select` per pair, with the usual per-query piggy-backed
+        adaptation and one history record per query.  Strategies that can
+        amortize the batch (vectorized probes, one adaptation pass per batch)
+        override it and set ``supports_batch = True``; the engine's batch
+        executor calls ``select_many`` unconditionally, so every registered
+        strategy is batch-correct by construction.
+        """
+        return [self.select(low, high) for low, high in bounds]
 
     def adapt(self, low: float, high: float) -> QueryStats | None:
         """Run one selection purely for its adaptation side effect.

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import math
 import time
 import warnings
+from dataclasses import dataclass
 from typing import Any, Sequence
 
 import numpy as np
@@ -29,7 +31,7 @@ from repro.optimizer.bpm import AdaptiveColumnHandle, BatPartitionManager
 from repro.optimizer.pipeline import OptimizerPipeline
 from repro.optimizer.rules import merge_duplicate_binds, remove_dead_code
 from repro.optimizer.segment_optimizer import SegmentOptimizer
-from repro.sql.ast import ComparisonPredicate, SelectStatement
+from repro.sql.ast import ComparisonPredicate, Placeholder, SelectStatement
 from repro.sql.compiler import SQLCompiler
 from repro.sql.parameters import (
     mask_literals,
@@ -37,11 +39,41 @@ from repro.sql.parameters import (
     prepared_binding,
     range_parameter_checks,
     statement_shape,
-    substitute_placeholders,
 )
 from repro.sql.parser import parse
 from repro.storage.catalog import Catalog
+from repro.util.sorted_search import sorted_probe_many
 from repro.util.units import KB
+
+
+@dataclass(slots=True)
+class _BatchSpec:
+    """What the batch executor needs to know about one eligible statement.
+
+    ``bounds`` is the predicate's ``(low, high, include_low, include_high)``
+    as :meth:`SQLCompiler._bounds` reports it; on a prepared template the low
+    and high may still be :class:`Placeholder` instances until
+    :meth:`with_bound_values` resolves them against one binding.
+    """
+
+    table: str
+    column: str
+    projected: tuple[str, ...]
+    bounds: tuple[float, float, bool, bool]
+
+    def with_bound_values(self, values: Sequence[float]) -> "_BatchSpec":
+        """A concrete spec with every placeholder bound replaced by its value."""
+        low, high, include_low, include_high = self.bounds
+        if isinstance(low, Placeholder):
+            low = values[low.index]
+        if isinstance(high, Placeholder):
+            high = values[high.index]
+        return _BatchSpec(
+            table=self.table,
+            column=self.column,
+            projected=self.projected,
+            bounds=(low, high, include_low, include_high),
+        )
 
 
 class Database:
@@ -62,7 +94,9 @@ class Database:
     :class:`~repro.mal.compiled.CompiledPlan` — on a warm query only the parse
     and the plan execution itself remain.  Execution contexts are pooled, and
     every :class:`QueryResult` carries a per-stage :class:`QueryProfile`.
-    ``execute_many`` batches same-column range selections into one shared scan.
+    ``execute_many`` / ``execute_prepared_many`` route same-column range
+    selections — overlapping and disjoint alike — through the vectorized
+    batch executor (the strategy layer's ``select_many`` kernels).
     """
 
     def __init__(self, *, plan_cache_size: int = 128) -> None:
@@ -208,6 +242,40 @@ class Database:
     def adaptive_handle(self, table: str, column: str) -> AdaptiveColumnHandle:
         """The BPM handle of an adaptive column (for inspection)."""
         return self.bpm.handle(table.lower(), column.lower())
+
+    def cache_stats(self) -> dict[str, Any]:
+        """Plan-cache observability: per-level and total counters.
+
+        ``levels`` maps each cache level (``exact``/``masked``/``shape``/
+        ``prepared``) to its hit/miss/eviction counters and resident entry
+        count; ``total`` carries the cache-wide counters plus capacity,
+        generation and the overall hit ratio.  Also surfaced on the client
+        API via ``Connection.admin.cache_stats()``.
+        """
+        cache = self.plan_cache
+        totals = cache.stats
+        return {
+            "levels": {
+                name: {
+                    "hits": level.hits,
+                    "misses": level.misses,
+                    "evictions": level.evictions,
+                    "entries": level.entries,
+                    "hit_ratio": level.hit_ratio,
+                }
+                for name, level in cache.level_stats().items()
+            },
+            "total": {
+                "hits": totals.hits,
+                "misses": totals.misses,
+                "evictions": totals.evictions,
+                "invalidations": totals.invalidations,
+                "size": totals.size,
+                "capacity": totals.capacity,
+                "hit_ratio": totals.hit_ratio,
+                "generation": cache.generation,
+            },
+        }
 
     # -- query execution ----------------------------------------------------------------
 
@@ -401,18 +469,23 @@ class Database:
         """Run one prepared statement once per parameter binding.
 
         All bindings are validated up front against the one prepared shape;
-        eligible range selections are then routed through the same
-        overlap-clustered shared-scan path as :meth:`execute_many`, with the
-        clusters computed on the *bound* bounds.
+        eligible range selections — overlapping *and* disjoint alike — are
+        then answered through the same vectorized batch executor as
+        :meth:`execute_many`, with the per-member bounds resolved straight
+        from the bound values (no per-member statement substitution).
         """
         if prepared.generation != self.plan_cache.generation:
             prepared = self.prepare_statement(prepared.sql)
-        bound = [prepared.binding.bind(parameters) for parameters in seq_of_parameters]
-        eligible = batch and self._batchable(prepared.statement)
-        items: list[tuple[str, SelectStatement | None]] = [
+        bound = prepared.binding.bind_many(seq_of_parameters)
+        template = (
+            self._batch_spec(prepared.statement)
+            if batch and self._batchable(prepared.statement)
+            else None
+        )
+        items: list[tuple[str, _BatchSpec | None]] = [
             (
                 prepared.sql,
-                substitute_placeholders(prepared.statement, values) if eligible else None,
+                template.with_bound_values(values) if template is not None else None,
             )
             for values in bound
         ]
@@ -479,51 +552,58 @@ class Database:
 
         Statements that are simple range selections over the same
         ``table.column`` (single predicate, plain projection, no pending
-        deltas on the table) and whose ranges overlap or touch are grouped
-        and answered from **one shared scan** of that column through the
-        strategy interface: the scan covers the envelope of the cluster's
-        bounds and each query filters its own slice from it.  Disjoint
-        ranges stay in separate clusters (their envelope would scan data no
-        member asked for); everything else falls back to :meth:`execute`.
+        deltas on the table) are grouped by shape and answered by the
+        **vectorized batch executor**: an adaptive column answers the whole
+        group through the strategy layer's ``select_many`` (array-probe
+        kernels, one piggy-backed adaptation pass per batch); a plain column
+        is either envelope-scanned once (when every range genuinely
+        overlaps) or value-sorted once and probed per member — disjoint
+        ranges batch too, and no member ever pays an envelope over-scan.
+        Everything else falls back to :meth:`execute`.
 
         Results are returned (and recorded in ``query_history``) in input
-        order; batched results carry ``batched=True``.
+        order; batched results carry ``batched=True`` and a real
+        :class:`QueryProfile` with the batch cost apportioned across members.
         """
         statements = list(statements)
         items = [
-            (sql, self._batchable_statement(sql) if batch else None) for sql in statements
+            (sql, self._batch_spec_from_sql(sql) if batch else None) for sql in statements
         ]
         return self._run_with_batching(items, lambda index: self.execute(statements[index]))
 
     def _run_with_batching(
         self,
-        items: list[tuple[str, SelectStatement | None]],
+        items: list[tuple[str, _BatchSpec | None]],
         fallback: Any,
     ) -> list[QueryResult]:
-        """Cluster batchable statements into shared scans; run the rest via ``fallback``.
+        """Group batchable statements by (table, column); run the rest via ``fallback``.
 
-        ``items`` pairs each statement's SQL text with its batch-eligible
-        parsed form (``None`` routes it through ``fallback(index)``, which
-        must record its own query history — both :meth:`execute` and
-        :meth:`_run_prepared` do).  This is the one clustering implementation
-        behind :meth:`execute_many` and :meth:`execute_prepared_many` (and
-        through the latter, ``Cursor.executemany``).
+        ``items`` pairs each statement's SQL text with its batch spec
+        (``None`` routes it through ``fallback(index)``, which must record
+        its own query history — both :meth:`execute` and
+        :meth:`_run_prepared` do).  Every same-column group of two or more
+        members goes to :meth:`_execute_batch` regardless of whether its
+        ranges overlap — the vectorized executor answers disjoint members
+        exactly.  This is the one grouping implementation behind
+        :meth:`execute_many` and :meth:`execute_prepared_many` (and through
+        the latter, ``Cursor.executemany``).
         """
-        parsed = [statement for _, statement in items]
         groups: dict[tuple[str, str], list[int]] = {}
-        for index, statement in enumerate(parsed):
-            if statement is not None:
-                key = (statement.table, statement.predicates[0].column)
-                groups.setdefault(key, []).append(index)
-        clusters: dict[tuple[str, str, int], list[int]] = {}
-        group_of: dict[int, tuple[str, str, int]] = {}
-        for (table, column), indices in groups.items():
-            for cluster_id, cluster in enumerate(self._overlap_clusters(indices, parsed)):
-                if len(cluster) < 2:
-                    continue
-                key = (table, column, cluster_id)
-                clusters[key] = cluster
-                for index in cluster:
+        for index, (_, spec) in enumerate(items):
+            if spec is not None:
+                groups.setdefault((spec.table, spec.column), []).append(index)
+        if len(groups) == 1 and len(items) >= 2:
+            # The common executemany shape: every member batches into one
+            # group, in input order — no pending bookkeeping needed.
+            (table, column), indices = next(iter(groups.items()))
+            if len(indices) == len(items):
+                results = self._execute_batch(table, column, items)
+                self.query_history.extend(results)
+                return results
+        group_of: dict[int, tuple[str, str]] = {}
+        for key, indices in groups.items():
+            if len(indices) >= 2:
+                for index in indices:
                     group_of[index] = key
 
         results: list[QueryResult] = []
@@ -532,10 +612,10 @@ class Database:
             if index in pending:
                 result = pending.pop(index)
             elif index in group_of:
-                table, column, _ = group_of[index]
-                members = clusters[group_of[index]]
+                table, column = group_of[index]
+                members = groups[(table, column)]
                 batch_results = self._execute_batch(
-                    table, column, [(items[j][0], parsed[j]) for j in members]
+                    table, column, [(items[j][0], items[j][1]) for j in members]
                 )
                 for j, batched_result in zip(members, batch_results):
                     if j == index:
@@ -550,25 +630,25 @@ class Database:
         return results
 
     @staticmethod
-    def _overlap_clusters(
-        indices: list[int], parsed: list[SelectStatement | None]
-    ) -> list[list[int]]:
-        """Split a same-column group into clusters of overlapping ranges.
+    def _overlap_clusters(ranges: list[tuple[float, float]]) -> list[list[int]]:
+        """Split half-open ``[low, high)`` ranges into strictly-overlapping clusters.
 
-        The shared scan covers the envelope of its cluster, so only ranges
-        that overlap (or touch) are merged — the envelope then equals their
-        union and the scan reads nothing no member asked for.
+        Used by the plain-column batch path to decide between one envelope
+        scan (a single cluster: the envelope equals the union, so the scan
+        reads nothing no member asked for) and the sort-and-probe kernel.
+        Only ranges that genuinely *share values* are merged: ranges that
+        merely touch — ``low == envelope_high``, including bounds one
+        ``math.nextafter`` apart, as an inclusive bound and the adjacent
+        exclusive bound produce — stay in separate clusters, since their
+        shared envelope would not be cheaper than exact per-member probes.
+        Returns clusters of positions into ``ranges``.
         """
-        def range_of(index: int) -> tuple[float, float]:
-            low, high, _, _ = SQLCompiler._bounds(parsed[index].predicates[0])
-            return low, high
-
-        ordered = sorted(indices, key=range_of)
+        order = sorted(range(len(ranges)), key=lambda i: ranges[i])
         clusters: list[list[int]] = []
         envelope_high = -np.inf
-        for index in ordered:
-            low, high = range_of(index)
-            if clusters and low <= envelope_high:
+        for index in order:
+            low, high = ranges[index]
+            if clusters and low < envelope_high:
                 clusters[-1].append(index)
                 envelope_high = max(envelope_high, high)
             else:
@@ -576,8 +656,8 @@ class Database:
                 envelope_high = high
         return clusters
 
-    def _batchable_statement(self, sql: str) -> SelectStatement | None:
-        """The parsed statement when eligible for the shared-scan path.
+    def _batch_spec_from_sql(self, sql: str) -> _BatchSpec | None:
+        """The statement's batch spec when eligible for the batched path.
 
         ``None`` routes the statement through the conventional path — also
         for unparsable or invalid statements, so they raise the same errors
@@ -587,7 +667,22 @@ class Database:
             statement = parse(sql)
         except ValueError:
             return None
-        return statement if self._batchable(statement) else None
+        if not self._batchable(statement):
+            return None
+        return self._batch_spec(statement)
+
+    def _batch_spec(self, statement: SelectStatement) -> _BatchSpec:
+        """The batch executor's view of a statement :meth:`_batchable` accepted."""
+        schema = self.catalog.schema(statement.table)
+        projected = (
+            schema.column_names if statement.columns == ("*",) else statement.columns
+        )
+        return _BatchSpec(
+            table=statement.table,
+            column=statement.predicates[0].column,
+            projected=tuple(projected),
+            bounds=SQLCompiler._bounds(statement.predicates[0]),
+        )
 
     def _batchable(self, statement: SelectStatement) -> bool:
         """Whether a statement's shape and table qualify for the shared scan.
@@ -618,55 +713,136 @@ class Database:
             return False
         return True
 
+    @staticmethod
+    def _half_open_bounds_many(
+        adaptive: Any, bounds: list[tuple[float, float, bool, bool]]
+    ) -> np.ndarray:
+        """Vectorized :meth:`BatPartitionManager._half_open_bounds` for a batch.
+
+        Returns an ``(n, 2)`` float64 array of half-open ``[low, high)``
+        pairs, bit-identical per member to the scalar translation
+        (``np.nextafter`` and ``math.nextafter`` agree on float64).
+        """
+        domain = adaptive.domain
+        lows = np.asarray([low for low, _, _, _ in bounds], dtype=np.float64)
+        highs = np.asarray([high for _, high, _, _ in bounds], dtype=np.float64)
+        include_low = np.asarray([incl for _, _, incl, _ in bounds], dtype=bool)
+        include_high = np.asarray([inch for _, _, _, inch in bounds], dtype=bool)
+        low_finite = np.isfinite(lows)
+        high_finite = np.isfinite(highs)
+        effective_low = np.where(low_finite, np.maximum(lows, domain.low), domain.low)
+        effective_high = np.where(high_finite, np.minimum(highs, domain.high), domain.high)
+        bump_low = ~include_low & low_finite
+        if bump_low.any():
+            effective_low = np.where(
+                bump_low, np.nextafter(effective_low, np.inf), effective_low
+            )
+        bump_high = include_high & high_finite
+        if bump_high.any():
+            effective_high = np.where(
+                bump_high, np.nextafter(effective_high, np.inf), effective_high
+            )
+        effective_high = np.minimum(effective_high, domain.high)
+        effective_low = np.maximum(np.minimum(effective_low, effective_high), domain.low)
+        return np.column_stack([effective_low, effective_high])
+
+    @staticmethod
+    def _half_open_floats(
+        low: float, high: float, include_low: bool, include_high: bool
+    ) -> tuple[float, float]:
+        """SQL bound semantics as a half-open ``[low, high)`` float pair.
+
+        The domain-free counterpart of
+        :meth:`BatPartitionManager._half_open_bounds`, used by the
+        plain-column sort-and-probe kernel (``±inf`` bounds are legal there:
+        the probes saturate at the array ends).
+        """
+        low = float(low)
+        high = float(high)
+        if not include_low and math.isfinite(low):
+            low = math.nextafter(low, math.inf)
+        if include_high and math.isfinite(high):
+            high = math.nextafter(high, math.inf)
+        return low, high
+
     def _execute_batch(
-        self, table: str, column: str, members: list[tuple[str, SelectStatement]]
+        self, table: str, column: str, members: list[tuple[str, _BatchSpec]]
     ) -> list[QueryResult]:
-        """One shared scan of ``table.column`` answering every member query."""
+        """One vectorized pass over ``table.column`` answering every member query.
+
+        An adaptive (BPM-managed) column answers the batch through the
+        strategy layer's ``select_many`` — vectorized segment routing and
+        probe kernels for the strategies that support batching, the
+        sequential fallback otherwise — with adaptation piggy-backed on the
+        batch.  A plain column is answered either by one envelope scan (all
+        ranges strictly overlapping: the envelope is the union) or by
+        value-sorting the column once and probing every member's slice —
+        disjoint members cost two binary searches each, not a scan.
+        """
         total_started = time.perf_counter()
-        bounds = [SQLCompiler._bounds(statement.predicates[0]) for _, statement in members]
+        bounds = [spec.bounds for _, spec in members]
 
         if self.bpm.is_managed(table, column):
             adaptive = self.bpm.handle(table, column).adaptive
-            half_open = [
-                BatPartitionManager._half_open_bounds(adaptive, low, high, incl, inch)
-                for low, high, incl, inch in bounds
-            ]
-            envelope_low = min(low for low, _ in half_open)
-            envelope_high = max(high for _, high in half_open)
+            half_open = self._half_open_bounds_many(adaptive, bounds)
             adaptive_before = self._adaptive_counters()
-            scan = adaptive.select(envelope_low, envelope_high)
+            selections = adaptive.select_many(half_open)
             selection_seconds, adaptation_seconds = self._adaptive_delta(adaptive_before)
-            scan_values, scan_oids = scan.values, scan.oids
-            masks = [
-                (scan_values >= low) & (scan_values < high) for low, high in half_open
-            ]
+            extracted = [selection.oids for selection in selections]
+            plan_text = (
+                f"# batched select_many on {table}.{column} ({len(members)} queries)"
+            )
         else:
             started = time.perf_counter()
             persistent = self.catalog.column(table, column).bind(0)
-            envelope_low = min(low for low, _, _, _ in bounds)
-            envelope_high = max(high for _, high, _, _ in bounds)
-            envelope = (persistent.tail >= envelope_low) & (persistent.tail <= envelope_high)
-            scan_values = persistent.tail[envelope]
-            scan_oids = persistent.head[envelope]
-            masks = []
-            for low, high, include_low, include_high in bounds:
-                mask = (scan_values >= low) if include_low else (scan_values > low)
-                mask &= (scan_values <= high) if include_high else (scan_values < high)
-                masks.append(mask)
+            values, heads = persistent.tail, persistent.head
+            half_open = [
+                self._half_open_floats(low, high, incl, inch)
+                for low, high, incl, inch in bounds
+            ]
+            clusters = self._overlap_clusters(half_open)
+            if len(clusters) == 1:
+                # Every range shares values with the next: one mask scan over
+                # the envelope (== the union) answers the whole batch.
+                envelope_low = min(low for low, _, _, _ in bounds)
+                envelope_high = max(high for _, high, _, _ in bounds)
+                envelope = (values >= envelope_low) & (values <= envelope_high)
+                scan_values = values[envelope]
+                scan_oids = heads[envelope]
+                extracted = []
+                for low, high, include_low, include_high in bounds:
+                    mask = (scan_values >= low) if include_low else (scan_values > low)
+                    mask &= (scan_values <= high) if include_high else (scan_values < high)
+                    extracted.append(scan_oids[mask])
+                plan_text = (
+                    f"# batched shared scan of {table}.{column} "
+                    f"[{envelope_low:g}, {envelope_high:g}]"
+                )
+            else:
+                # Disjoint ranges present: sort the column once, then each
+                # member is two binary-search probes — no envelope over-scan.
+                order = np.argsort(values, kind="stable")
+                sorted_values = values[order]
+                lows = np.asarray([low for low, _ in half_open], dtype=np.float64)
+                highs = np.asarray([high for _, high in half_open], dtype=np.float64)
+                los = sorted_probe_many(sorted_values, lows, side="left")
+                his = sorted_probe_many(sorted_values, highs, side="left")
+                extracted = [
+                    heads[order[lo:hi]] for lo, hi in zip(los.tolist(), his.tolist())
+                ]
+                plan_text = (
+                    f"# batched sort-and-probe on {table}.{column} "
+                    f"({len(members)} queries)"
+                )
             selection_seconds = time.perf_counter() - started
             adaptation_seconds = 0.0
 
-        schema = self.catalog.schema(table)
         share = 1.0 / len(members)
         column_arrays: dict[str, np.ndarray] = {}
         results: list[QueryResult] = []
-        for (sql, statement), mask in zip(members, masks):
-            oids = scan_oids[mask]
-            projected = (
-                schema.column_names if statement.columns == ("*",) else statement.columns
-            )
+        for (sql, spec), oids in zip(members, extracted):
             columns: dict[str, np.ndarray] = {}
-            for name in projected:
+            for name in spec.projected:
                 if name not in column_arrays:
                     column_arrays[name] = self.catalog.column(table, name).bind(0).tail
                 columns[name] = column_arrays[name][oids]
@@ -674,19 +850,20 @@ class Database:
                 QueryResult(
                     sql=sql,
                     columns=columns,
-                    plan_text=f"# batched shared scan of {table}.{column} "
-                              f"[{envelope_low:g}, {envelope_high:g})",
+                    plan_text=plan_text,
                     selection_seconds=selection_seconds * share,
                     adaptation_seconds=adaptation_seconds * share,
                     cache_level="batched",
                     plan_cache_hits=self.plan_cache.hits,
                     plan_cache_misses=self.plan_cache.misses,
                     batched=True,
+                    profile=QueryProfile(cold=False),
                 )
             )
         total_share = (time.perf_counter() - total_started) * share
         for result in results:
             result.total_seconds = total_share
+            result.profile.execute_seconds = total_share
         return results
 
     # -- adaptation accounting ------------------------------------------------------------

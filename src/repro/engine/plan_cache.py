@@ -123,8 +123,53 @@ class PlanCacheStats:
         return self.hits / lookups if lookups else 0.0
 
 
+@dataclass(frozen=True)
+class PlanCacheLevelStats:
+    """Hit/miss/eviction counters of one cache level (plus resident entries)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups at this level (0.0 when nothing was looked up)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+#: Internal key prefixes mapped onto the public cache-level names surfaced on
+#: ``QueryResult.cache_level`` (``"cold"``/``"batched"`` are outcomes, not
+#: store levels, so they never appear here).
+_LEVEL_NAMES = {
+    "sql": "exact",
+    "text-shape": "masked",
+    "shape": "shape",
+    "prepared": "prepared",
+}
+
+
+def _level_of(key: Hashable) -> str:
+    """The raw level tag of a cache key (its tuple prefix).
+
+    Kept deliberately cheap — this runs on every cache lookup of the warm
+    query path.  Translation to the public level names happens once, in
+    :meth:`PlanCache.level_stats`.
+    """
+    if type(key) is tuple and key:
+        return key[0]
+    return "other"
+
+
 class PlanCache:
-    """A bounded LRU mapping from hashable keys to cached plan entries."""
+    """A bounded LRU mapping from hashable keys to cached plan entries.
+
+    All levels share the one LRU store; per-level hit/miss/eviction counters
+    (keyed by the public level names — ``exact``/``masked``/``shape``/
+    ``prepared``) are kept alongside the totals for
+    :meth:`~repro.engine.database.Database.cache_stats`.
+    """
 
     def __init__(self, capacity: int = 128) -> None:
         if capacity <= 0:
@@ -136,18 +181,33 @@ class PlanCache:
         self.evictions = 0
         self.invalidations = 0
         self.generation = 0
+        # level name -> [hits, misses, evictions]
+        self._level_counters: dict[str, list[int]] = {}
 
     def __len__(self) -> int:
         return len(self._plans)
 
+    def _counters(self, level: str) -> list[int]:
+        counters = self._level_counters.get(level)
+        if counters is None:
+            counters = self._level_counters[level] = [0, 0, 0]
+        return counters
+
     def get(self, key: Hashable) -> Any | None:
         """The cached entry for ``key``, refreshing its recency; counts hit/miss."""
         plan = self._plans.get(key)
+        # Inlined level tagging: this runs on every warm-path lookup.
+        level = key[0] if type(key) is tuple and key else "other"
+        counters = self._level_counters.get(level)
+        if counters is None:
+            counters = self._level_counters[level] = [0, 0, 0]
         if plan is None:
             self.misses += 1
+            counters[1] += 1
             return None
         self._plans.move_to_end(key)
         self.hits += 1
+        counters[0] += 1
         return plan
 
     def put(self, key: Hashable, plan: Any) -> None:
@@ -155,8 +215,31 @@ class PlanCache:
         self._plans[key] = plan
         self._plans.move_to_end(key)
         while len(self._plans) > self.capacity:
-            self._plans.popitem(last=False)
+            evicted_key, _ = self._plans.popitem(last=False)
             self.evictions += 1
+            self._counters(_level_of(evicted_key))[2] += 1
+
+    def level_stats(self) -> dict[str, PlanCacheLevelStats]:
+        """Per-level counters, including levels that saw lookups but hold nothing.
+
+        Keys are the public level names (``exact``/``masked``/``shape``/
+        ``prepared``).  Entry counts are computed by a scan over the resident
+        keys — this is an administrative surface, not a hot path.
+        """
+        entries: dict[str, int] = {}
+        for key in self._plans:
+            level = _level_of(key)
+            entries[level] = entries.get(level, 0) + 1
+        levels = sorted(self._level_counters.keys() | entries.keys())
+        return {
+            _LEVEL_NAMES.get(level, level): PlanCacheLevelStats(
+                hits=self._level_counters.get(level, [0, 0, 0])[0],
+                misses=self._level_counters.get(level, [0, 0, 0])[1],
+                evictions=self._level_counters.get(level, [0, 0, 0])[2],
+                entries=entries.get(level, 0),
+            )
+            for level in levels
+        }
 
     def clear(self) -> None:
         """Drop every cached plan (schema or adaptive registration changed).

@@ -30,9 +30,12 @@ class QueryResult:
     ``"cold"`` (nothing hit; the plan was compiled for this query).
     ``plan_cache_hits``/``plan_cache_misses`` are the cache's cumulative
     counters at the time this query finished; ``batched`` marks results
-    answered by the shared-scan path of ``execute_many``.  ``profile`` carries
-    the per-stage wall-clock split and per-opcode execution counters (``None``
-    on the batched path, which bypasses plan execution entirely).
+    answered by the vectorized batch executor of ``execute_many`` /
+    ``executemany``.  ``profile`` carries the per-stage wall-clock split and
+    per-opcode execution counters; on the batched path it is a warm profile
+    whose ``execute`` stage holds this member's share of the batch cost (the
+    batch bypasses plan execution, so the other stages and the opcode
+    counters are zero).
     """
 
     sql: str

@@ -54,11 +54,12 @@ class Session:
         return result
 
     def execute_many(self, statements: list[str], *, batch: bool = True) -> list[QueryResult]:
-        """Run a list of queries in order, using the batched shared-scan path.
+        """Run a list of queries in order through the vectorized batch executor.
 
-        Same-column range selections are grouped and answered from one shared
-        scan (see :meth:`Database.execute_many`); per-session history and
-        timing totals are updated for every result.
+        Same-column range selections — overlapping and disjoint alike — are
+        grouped and answered by one vectorized kernel pass (see
+        :meth:`Database.execute_many`); per-session history and timing totals
+        are updated for every result.
         """
         results = self.database.execute_many(statements, batch=batch)
         for result in results:

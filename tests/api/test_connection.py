@@ -121,3 +121,23 @@ class TestAdmin:
     def test_syntax_error_maps_to_programming_error(self, connection):
         with pytest.raises(api.ProgrammingError):
             connection.admin.explain("SELEKT objid FROM p")
+
+
+class TestAdminCacheStats:
+    def test_cache_stats_surface(self, connection):
+        cursor = connection.cursor()
+        cursor.execute("SELECT objid FROM p WHERE ra BETWEEN 1.0 AND 2.0")
+        cursor.execute("SELECT objid FROM p WHERE ra BETWEEN 1.0 AND 2.0")
+        cursor.execute("SELECT objid FROM p WHERE ra BETWEEN ? AND ?", (3.0, 4.0))
+        stats = connection.admin.cache_stats()
+        assert set(stats) == {"levels", "total"}
+        assert stats["levels"]["exact"]["hits"] == 1
+        assert stats["levels"]["prepared"]["entries"] == 1
+        assert stats["total"]["size"] == sum(
+            level["entries"] for level in stats["levels"].values()
+        )
+
+    def test_cache_stats_requires_open_connection(self, connection):
+        connection.close()
+        with pytest.raises(api.InterfaceError):
+            connection.admin.cache_stats()

@@ -1,0 +1,223 @@
+"""The engine's vectorized batch executor and plan-cache observability."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine.database import Database
+from repro.util.units import KB
+
+
+@pytest.fixture
+def database() -> Database:
+    rng = np.random.default_rng(23)
+    db = Database()
+    db.create_table("p", {"objid": "int64", "ra": "float64"})
+    db.bulk_load(
+        "p",
+        {
+            "objid": np.arange(10_000, dtype=np.int64),
+            "ra": rng.uniform(0.0, 360.0, size=10_000),
+        },
+    )
+    return db
+
+
+def _rows(result):
+    return sorted(map(tuple, zip(*(result.columns[name] for name in result.column_names))))
+
+
+def _reference(statements):
+    rng = np.random.default_rng(23)
+    db = Database()
+    db.create_table("p", {"objid": "int64", "ra": "float64"})
+    db.bulk_load(
+        "p",
+        {
+            "objid": np.arange(10_000, dtype=np.int64),
+            "ra": rng.uniform(0.0, 360.0, size=10_000),
+        },
+    )
+    return [db.execute(sql) for sql in statements]
+
+
+DISJOINT = [
+    "SELECT objid FROM p WHERE ra BETWEEN 10.0 AND 12.0",
+    "SELECT objid FROM p WHERE ra BETWEEN 100.0 AND 103.0",
+    "SELECT objid FROM p WHERE ra BETWEEN 350.0 AND 351.0",
+]
+MIXED = [
+    "SELECT objid FROM p WHERE ra BETWEEN 10.0 AND 40.0",
+    "SELECT objid, ra FROM p WHERE ra BETWEEN 30.0 AND 60.0",
+    "SELECT objid FROM p WHERE ra BETWEEN 200.0 AND 201.0",
+    "SELECT objid FROM p WHERE ra > 355.0",
+    "SELECT objid FROM p WHERE ra = 42.0",
+]
+
+
+class TestBatchExecutor:
+    def test_disjoint_ranges_batch_on_plain_column(self, database):
+        results = database.execute_many(DISJOINT)
+        assert all(result.batched for result in results)
+        assert all(result.cache_level == "batched" for result in results)
+        for got, expected in zip(results, _reference(DISJOINT)):
+            assert _rows(got) == _rows(expected)
+        assert "sort-and-probe" in results[0].plan_text
+
+    def test_overlapping_ranges_share_one_envelope_scan(self, database):
+        statements = MIXED[:2]
+        results = database.execute_many(statements)
+        assert all(result.batched for result in results)
+        assert "shared scan" in results[0].plan_text
+        for got, expected in zip(results, _reference(statements)):
+            assert _rows(got) == _rows(expected)
+
+    def test_mixed_shapes_batch_on_plain_column(self, database):
+        results = database.execute_many(MIXED)
+        assert all(result.batched for result in results)
+        for got, expected in zip(results, _reference(MIXED)):
+            assert _rows(got) == _rows(expected)
+
+    @pytest.mark.parametrize("strategy", ["segmentation", "replication", "unsegmented"])
+    def test_batches_match_on_every_registered_strategy(self, database, strategy):
+        database.enable_adaptive(
+            "p", "ra", strategy=strategy, model="apm", m_min=2 * KB, m_max=8 * KB
+        )
+        results = database.execute_many(MIXED + DISJOINT)
+        assert all(result.batched for result in results)
+        for got, expected in zip(results, _reference(MIXED + DISJOINT)):
+            assert _rows(got) == _rows(expected)
+
+    def test_managed_batch_adapts_once_per_batch(self, database):
+        handle = database.enable_adaptive(
+            "p", "ra", strategy="segmentation", model="apm", m_min=2 * KB, m_max=8 * KB
+        )
+        results = database.execute_many(DISJOINT)
+        assert all(result.batched for result in results)
+        history = handle.adaptive.history
+        assert len(history) == 1
+        assert history[-1].batch_size == len(DISJOINT)
+        assert handle.adaptive.segment_count > 1  # piggy-backed splits fired
+
+    def test_prepared_many_batches_disjoint_bindings(self, database):
+        prepared = database.prepare_statement(
+            "SELECT objid FROM p WHERE ra BETWEEN ? AND ?"
+        )
+        bindings = [(10.0, 12.0), (100.0, 103.0), (350.0, 351.0)]
+        results = database.execute_prepared_many(prepared, bindings)
+        assert all(result.batched for result in results)
+        assert [result.parameters for result in results] == bindings
+        reference = _reference(
+            [f"SELECT objid FROM p WHERE ra BETWEEN {low} AND {high}" for low, high in bindings]
+        )
+        for got, expected in zip(results, reference):
+            assert _rows(got) == _rows(expected)
+
+
+class TestBatchedProfiles:
+    def test_batched_results_carry_a_real_profile(self, database):
+        results = database.execute_many(DISJOINT)
+        for result in results:
+            assert result.profile is not None
+            assert not result.profile.cold
+            assert result.profile.execute_seconds == result.total_seconds
+            assert result.profile.execute_seconds > 0.0
+
+    def test_batch_cost_apportioned_across_members(self, database):
+        results = database.execute_many(DISJOINT)
+        shares = {result.profile.execute_seconds for result in results}
+        assert len(shares) == 1  # equal shares of one batch
+        total = sum(result.total_seconds for result in results)
+        assert total == pytest.approx(results[0].total_seconds * len(results))
+
+    def test_profile_format_on_a_batched_result(self, database):
+        result = database.execute_many(DISJOINT)[0]
+        rendered = result.profile.format()
+        assert "query profile (warm)" in rendered
+        assert "execute" in rendered
+        assert "total" in rendered
+
+
+class TestOverlapClusters:
+    def test_strictly_overlapping_ranges_merge(self):
+        clusters = Database._overlap_clusters([(10.0, 20.0), (19.0, 30.0)])
+        assert clusters == [[0, 1]]
+
+    def test_touching_at_nextafter_boundary_stays_separate(self):
+        """Half-open ranges meeting at one nextafter boundary share no value."""
+        boundary = math.nextafter(20.0, math.inf)
+        clusters = Database._overlap_clusters([(10.0, boundary), (boundary, 30.0)])
+        assert clusters == [[0], [1]]
+
+    def test_exactly_touching_half_open_ranges_stay_separate(self):
+        clusters = Database._overlap_clusters([(10.0, 20.0), (20.0, 30.0)])
+        assert clusters == [[0], [1]]
+
+    def test_cluster_positions_index_the_input(self):
+        clusters = Database._overlap_clusters([(50.0, 60.0), (0.0, 10.0), (5.0, 7.0)])
+        assert clusters == [[1, 2], [0]]
+
+
+class TestCacheStats:
+    def test_levels_and_totals(self, database):
+        database.execute("SELECT objid FROM p WHERE ra BETWEEN 1.0 AND 2.0")  # cold
+        database.execute("SELECT objid FROM p WHERE ra BETWEEN 1.0 AND 2.0")  # exact hit
+        database.execute("SELECT objid FROM p WHERE ra BETWEEN 3.0 AND 4.0")  # masked hit
+        prepared = database.prepare_statement(
+            "SELECT objid FROM p WHERE ra BETWEEN ? AND ?"
+        )
+        database.execute_prepared(prepared, (5.0, 6.0))
+        stats = database.cache_stats()
+        levels = stats["levels"]
+        assert levels["exact"]["hits"] == 1
+        assert levels["masked"]["hits"] == 1
+        assert levels["prepared"]["misses"] >= 1  # the prepare-time lookup
+        assert levels["prepared"]["entries"] == 1
+        assert levels["shape"]["entries"] == 1  # one shape shared by all paths
+        total = stats["total"]
+        assert total["hits"] == sum(level["hits"] for level in levels.values())
+        assert total["misses"] == sum(level["misses"] for level in levels.values())
+        assert total["size"] == sum(level["entries"] for level in levels.values())
+        assert 0.0 <= total["hit_ratio"] <= 1.0
+
+    def test_evictions_counted_per_level(self):
+        db = Database(plan_cache_size=2)
+        db.create_table("t", {"x": "float64"})
+        db.bulk_load("t", {"x": np.arange(10, dtype=np.float64)})
+        for low in range(5):
+            db.execute(f"SELECT x FROM t WHERE x BETWEEN {low}.0 AND {low + 1}.5")
+        stats = db.cache_stats()
+        assert stats["total"]["evictions"] > 0
+        assert stats["total"]["evictions"] == sum(
+            level["evictions"] for level in stats["levels"].values()
+        )
+
+    def test_generation_advances_on_invalidation(self, database):
+        before = database.cache_stats()["total"]["generation"]
+        database.enable_adaptive("p", "ra", m_min=4 * KB, m_max=16 * KB)
+        assert database.cache_stats()["total"]["generation"] == before + 1
+
+
+class TestHalfOpenBoundsMany:
+    def test_bit_identical_to_scalar_translation(self, database):
+        from repro.optimizer.bpm import BatPartitionManager
+
+        database.enable_adaptive("p", "ra", m_min=4 * KB, m_max=16 * KB)
+        adaptive = database.adaptive_handle("p", "ra").adaptive
+        bounds = [
+            (10.0, 20.0, True, True),
+            (10.0, 20.0, False, False),
+            (-np.inf, 20.0, False, True),
+            (20.0, np.inf, True, False),
+            (42.0, 42.0, True, True),
+            (-500.0, 999.0, True, True),  # clamped to the domain
+        ]
+        vectorized = Database._half_open_bounds_many(adaptive, bounds)
+        for (low, high, incl, inch), row in zip(bounds, vectorized):
+            expected = BatPartitionManager._half_open_bounds(
+                adaptive, low, high, incl, inch
+            )
+            assert (float(row[0]), float(row[1])) == expected

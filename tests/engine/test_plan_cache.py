@@ -141,15 +141,17 @@ class TestExecuteMany:
         for got, expected in zip(batched, reference):
             assert _rows(got) == _rows(expected)
 
-    def test_disjoint_ranges_are_not_merged(self, database):
-        """A shared scan over disjoint ranges would read unrequested data."""
-        results = database.execute_many(
-            [
-                "SELECT objid FROM p WHERE ra BETWEEN 0.0 AND 1.0",
-                "SELECT objid FROM p WHERE ra BETWEEN 350.0 AND 351.0",
-            ]
-        )
-        assert not any(result.batched for result in results)
+    def test_disjoint_ranges_batch_without_over_scan(self, database):
+        """Disjoint ranges batch through the vectorized path, answered exactly."""
+        statements = [
+            "SELECT objid FROM p WHERE ra BETWEEN 0.0 AND 1.0",
+            "SELECT objid FROM p WHERE ra BETWEEN 350.0 AND 351.0",
+        ]
+        results = database.execute_many(statements)
+        assert all(result.batched for result in results)
+        reference = self._reference(statements)
+        for got, expected in zip(results, reference):
+            assert _rows(got) == _rows(expected)
 
     def test_results_come_back_in_input_order(self, database):
         statements = [

@@ -1,5 +1,8 @@
 """Tests for query parameterization, shape keys and literal masking."""
 
+from decimal import Decimal
+
+import numpy as np
 import pytest
 
 from repro.engine.plan_cache import normalize_sql
@@ -238,3 +241,56 @@ class TestSubstitutePlaceholders:
         for bad in ({1.0, 2.0}, frozenset({1.0, 2.0}), {"a": 1.0, "b": 2.0}.values()):
             with pytest.raises(BindError, match="ordered sequence"):
                 spec.bind(bad)
+
+
+class TestBindMany:
+    def _spec(self):
+        statement = parse("SELECT x FROM t WHERE x BETWEEN ? AND ?", placeholders=True)
+        return prepared_binding(statement)
+
+    def test_fast_path_matches_per_member_bind(self):
+        spec = self._spec()
+        batch = [(1.0, 2.0), (3, 7), (0.5, 0.5)]
+        assert spec.bind_many(batch) == [spec.bind(p) for p in batch]
+
+    def test_heterogeneous_values_fall_back_and_match(self):
+        spec = self._spec()
+        batch = [(Decimal("1.5"), 2.0), (np.float64(3.0), np.int64(7))]
+        assert spec.bind_many(batch) == [spec.bind(p) for p in batch]
+
+    def test_reversed_range_raises_the_per_member_error(self):
+        spec = self._spec()
+        with pytest.raises(BindError, match="high >= low"):
+            spec.bind_many([(1.0, 2.0), (9.0, 3.0)])
+
+    def test_nan_raises_the_per_member_error(self):
+        spec = self._spec()
+        with pytest.raises(BindError, match="NaN"):
+            spec.bind_many([(1.0, 2.0), (float("nan"), 3.0)])
+
+    def test_wrong_arity_raises(self):
+        spec = self._spec()
+        with pytest.raises(BindError, match="parameter"):
+            spec.bind_many([(1.0, 2.0), (3.0,)])
+
+    def test_boolean_rejected(self):
+        spec = self._spec()
+        with pytest.raises(BindError, match="numeric"):
+            spec.bind_many([(True, 2.0)])
+
+    def test_scalar_member_raises_bind_error(self):
+        spec = self._spec()
+        with pytest.raises(BindError, match="ordered sequence"):
+            spec.bind_many([3.0])
+
+    def test_named_style_falls_back(self):
+        statement = parse(
+            "SELECT x FROM t WHERE x BETWEEN :lo AND :hi", placeholders=True
+        )
+        spec = prepared_binding(statement)
+        assert spec.bind_many([{"lo": 1.0, "hi": 2.0}]) == [
+            spec.bind({"lo": 1.0, "hi": 2.0})
+        ]
+
+    def test_empty_batch(self):
+        assert self._spec().bind_many([]) == []
