@@ -21,7 +21,7 @@ fast path's cold/warm split:
   (``repro.connect`` → ``Connection.prepare`` → per-query bind + execute):
   no SQL text per query at all, so it must beat the warm masked-text path
   (``speedup_prepared_vs_warm`` is that ratio; the PERF_ASSERT bar);
-* ``batch_per_query`` / ``batch_throughput_qps`` — the vectorized batch
+* ``batch_per_query`` / ``engine_batch_throughput_qps`` — the vectorized batch
   executor: one ``execute_prepared_many`` over a batch of 256 **disjoint**
   range selects, answered through the strategy layer's ``select_many``
   kernels in O(touched segments) numpy calls.  ``speedup_batch_vs_prepared``
@@ -405,8 +405,10 @@ def run_suite() -> PerfSuite:
              "(vectorized batch executor; best batch after warm-up)",
     )
     suite.derive(
-        "batch_throughput_qps", batch_size / batch_best, unit="qps",
+        "engine_batch_throughput_qps", batch_size / batch_best, unit="qps",
         rows=n_rows, queries=batch_size,
+        note="in-process execute_prepared_many (no server; see "
+             "batch_throughput_qps for the server-mediated figure)",
     )
     suite.derive(
         "speedup_batch_vs_prepared",

@@ -8,12 +8,15 @@ The crash-if-slower gate of the CI bench job, also runnable locally::
         --metric engine_per_query_warm --max-ratio 2.0
 
 For every ``--metric NAME [--max-ratio X]`` pair the gate fails (exit 1) when
-``current / baseline > X`` — i.e. the current run is more than X times slower
-than the committed report.  Seconds-unit metrics present in both reports are
-always printed for context.  A gated metric missing from the *baseline* is a
-warning, not a failure (the metric was introduced after the baseline was
-committed); missing from the *current* report it is a failure (the suite
-stopped measuring something it gates on).
+the current run is more than X times *worse* than the committed report.  The
+direction is unit-aware: for seconds-unit metrics worse means slower
+(``current / baseline > X``); for rate and ratio units (``qps``, ``x``)
+higher is better, so the gate inverts (``baseline / current > X`` — e.g. a
+throughput metric fails when it drops below 1/X of the baseline).  Metrics
+present in both reports are always printed for context.  A gated metric
+missing from the *baseline* is a warning, not a failure (the metric was
+introduced after the baseline was committed); missing from the *current*
+report it is a failure (the suite stopped measuring something it gates on).
 """
 
 from __future__ import annotations
@@ -31,9 +34,18 @@ DEFAULT_REPORT = REPO_ROOT / "BENCH_segment_kernels.json"
 DEFAULT_METRIC = "engine_per_query_warm"
 DEFAULT_MAX_RATIO = 2.0
 
+#: Units where a larger value is *better* — the gate ratio inverts for these.
+HIGHER_IS_BETTER_UNITS = {"qps", "x"}
+
 
 def _values_by_name(report: dict) -> dict[str, dict]:
     return {record["name"]: record for record in report.get("results", [])}
+
+
+def _render(value: float, unit: str) -> str:
+    if unit == "s":
+        return f"{value * 1e6:.1f} µs"
+    return f"{value:.1f} {unit}"
 
 
 def check(
@@ -57,13 +69,22 @@ def check(
         if not baseline_value:
             warnings.append(f"{metric}: baseline value is zero (skipping the gate)")
             continue
-        ratio = current_records[metric]["value"] / baseline_value
+        current_value = current_records[metric]["value"]
+        unit = current_records[metric].get("unit", "s")
+        if unit in HIGHER_IS_BETTER_UNITS:
+            # Rates and ratios: regression means the value *dropped*.
+            if not current_value:
+                failures.append(f"{metric}: current value is zero")
+                continue
+            ratio = baseline_value / current_value
+        else:
+            ratio = current_value / baseline_value
         if ratio > max_ratio:
             failures.append(
-                f"{metric}: {ratio:.2f}x the committed baseline "
+                f"{metric}: {ratio:.2f}x worse than the committed baseline "
                 f"(limit {max_ratio:.2f}x; "
-                f"{baseline_value * 1e6:.1f} µs -> "
-                f"{current_records[metric]['value'] * 1e6:.1f} µs)"
+                f"{_render(baseline_value, unit)} -> "
+                f"{_render(current_value, unit)})"
             )
     return failures, warnings
 

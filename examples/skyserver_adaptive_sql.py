@@ -72,8 +72,9 @@ def main() -> None:
     print(f"  bytes read per query:      "
           f"{format_bytes(handle.adaptive.accountant.total_reads_bytes / len(workload))}"
           f" (column is {format_bytes(dataset.column_bytes)})")
-    print(f"  plan cache: {admin.plan_cache_stats.hits} hits / "
-          f"{admin.plan_cache_stats.misses} misses")
+    cache_total = admin.cache_stats()["total"]
+    print(f"  plan cache: {cache_total['hits']} hits / "
+          f"{cache_total['misses']} misses")
     connection.close()
 
 

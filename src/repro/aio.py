@@ -1,0 +1,23 @@
+"""Async client entry point: ``connection = await repro.aio.connect(host, port)``.
+
+The asyncio twin of :func:`repro.connect` — see :mod:`repro.api.aio` for the
+classes and :mod:`repro.server` for the server this client speaks to.
+"""
+
+from repro.api.aio import (
+    AsyncAdmin,
+    AsyncConnection,
+    AsyncCursor,
+    AsyncPreparedStatement,
+    RemoteResult,
+    connect,
+)
+
+__all__ = [
+    "AsyncAdmin",
+    "AsyncConnection",
+    "AsyncCursor",
+    "AsyncPreparedStatement",
+    "RemoteResult",
+    "connect",
+]

@@ -1,0 +1,618 @@
+"""The async client: PEP 249 shapes over the repro wire protocol.
+
+``await repro.aio.connect(host, port)`` opens an :class:`AsyncConnection`
+mirroring the in-process facade — cursors, ``prepare``, an ``admin`` handle —
+except that execution awaits a server round-trip and *parameterized* selects
+ride the server's batch admission: concurrent clients issuing bound range
+selects are answered as one vectorized wave (see
+:mod:`repro.server.admission`).
+
+The connection pipelines: every request carries an id and responses are
+correlated by a background receive task, so many coroutines can share one
+connection and keep queries in flight concurrently::
+
+    connection = await repro.aio.connect(*server.address)
+    rows = await asyncio.gather(
+        *(connection.execute("select v from t where v >= ? and v < ?", (lo, hi))
+          for lo, hi in windows)
+    )
+
+Fetching stays synchronous (the rows are already client-side once ``execute``
+returns), matching the blocking cursor's fetch surface exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.api.exceptions import (
+    InterfaceError,
+    NotSupportedError,
+    OperationalError,
+    error_from_name,
+)
+from repro.server.protocol import PROTOCOL_VERSION, read_frame, write_frame
+
+__all__ = [
+    "AsyncAdmin",
+    "AsyncConnection",
+    "AsyncCursor",
+    "AsyncPreparedStatement",
+    "RemoteResult",
+    "connect",
+]
+
+#: ``description`` type code for scalar aggregates (mirrors the sync cursor).
+_SCALAR_TYPE = "float64"
+
+
+class RemoteResult:
+    """One query result materialized from a ``result`` frame.
+
+    The wire twin of :class:`~repro.engine.result.QueryResult`: ``columns``
+    maps names to numpy arrays rebuilt with their original dtypes, ``scalars``
+    carries pure-aggregate results, and ``cache_level``/``batched`` report how
+    the server answered (``batched=True`` means the query rode a wave).
+    """
+
+    def __init__(self, payload: dict[str, Any]) -> None:
+        self.row_count: int = int(payload.get("rowcount", 0))
+        self.cache_level: str | None = payload.get("cache_level")
+        self.batched: bool = bool(payload.get("batched", False))
+        self.scalars: dict[str, float] = dict(payload.get("scalars") or {})
+        dtypes = payload.get("dtypes") or {}
+        self.columns: dict[str, np.ndarray] = {
+            name: np.asarray(values, dtype=dtypes.get(name))
+            for name, values in (payload.get("columns") or {}).items()
+        }
+
+    def scalar(self, label: str | None = None) -> float:
+        """The single aggregate value (optionally by label)."""
+        if not self.scalars:
+            raise InterfaceError("result has no scalar aggregates")
+        if label is None:
+            if len(self.scalars) != 1:
+                raise InterfaceError(
+                    f"result has {len(self.scalars)} aggregates; pass a label"
+                )
+            return next(iter(self.scalars.values()))
+        if label not in self.scalars:
+            raise InterfaceError(f"no aggregate labelled {label!r}")
+        return self.scalars[label]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.scalars:
+            return f"RemoteResult(scalars={self.scalars})"
+        return (
+            f"RemoteResult(rows={self.row_count}, "
+            f"columns={list(self.columns)}, batched={self.batched})"
+        )
+
+
+class AsyncCursor:
+    """A cursor over one :class:`AsyncConnection` (PEP 249 fetch surface).
+
+    ``execute``/``executemany`` are coroutines; fetching is synchronous
+    because results arrive whole.  Extensions mirror the sync cursor:
+    ``result``, ``results``, ``cache_level``.
+    """
+
+    def __init__(self, connection: "AsyncConnection") -> None:
+        self._connection = connection
+        self._closed = False
+        self.arraysize = 1
+        self._executed = False
+        self._results: list[RemoteResult] = []
+        self._result_index = 0
+        self._row_index = 0
+        self._description: list[tuple] | None = None
+        self._rowcount = -1
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def connection(self) -> "AsyncConnection":
+        return self._connection
+
+    @property
+    def closed(self) -> bool:
+        return self._closed or self._connection.closed
+
+    def close(self) -> None:
+        """Close the cursor (purely client-side; the connection stays open)."""
+        self._closed = True
+        self._results = []
+        self._description = None
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise InterfaceError("cursor is closed")
+
+    # -- execution ------------------------------------------------------------
+
+    async def execute(
+        self, operation: str, parameters: Any | None = None
+    ) -> "AsyncCursor":
+        """Run one statement; bound statements go through batch admission."""
+        self._check_open()
+        frame: dict[str, Any] = {"type": "execute", "sql": operation}
+        if parameters is not None:
+            frame["params"] = _wire_params(parameters)
+        reply = await self._connection._request(frame)
+        self._install([RemoteResult(reply)])
+        return self
+
+    async def executemany(
+        self, operation: str, seq_of_parameters: Sequence[Any]
+    ) -> "AsyncCursor":
+        """Run one parameterized statement once per parameter set.
+
+        Every binding is admitted separately, so they batch both with each
+        other and with queries of *other* connections arriving in the same
+        admission window.
+        """
+        self._check_open()
+        reply = await self._connection._request(
+            {
+                "type": "executemany",
+                "sql": operation,
+                "params": [_wire_params(p) for p in seq_of_parameters],
+            }
+        )
+        self._install([RemoteResult(payload) for payload in reply.get("results", [])])
+        return self
+
+    def _install(self, results: list[RemoteResult]) -> None:
+        self._executed = True
+        self._results = results
+        self._result_index = 0
+        self._row_index = 0
+        self._description = self._describe(results[0]) if results else None
+        self._rowcount = sum(self._result_rows(result) for result in results)
+
+    @staticmethod
+    def _describe(result: RemoteResult) -> list[tuple]:
+        if result.scalars:
+            return [
+                (label, _SCALAR_TYPE, None, 8, None, None, None)
+                for label in result.scalars
+            ]
+        return [
+            (name, array.dtype.name, None, int(array.dtype.itemsize), None, None, None)
+            for name, array in result.columns.items()
+        ]
+
+    @staticmethod
+    def _result_rows(result: RemoteResult) -> int:
+        if result.scalars:
+            return 1
+        return result.row_count
+
+    # -- results --------------------------------------------------------------
+
+    @property
+    def description(self) -> list[tuple] | None:
+        return self._description
+
+    @property
+    def rowcount(self) -> int:
+        return self._rowcount
+
+    @property
+    def result(self) -> RemoteResult | None:
+        return self._results[-1] if self._results else None
+
+    @property
+    def results(self) -> list[RemoteResult]:
+        return list(self._results)
+
+    @property
+    def cache_level(self) -> str | None:
+        result = self.result
+        return result.cache_level if result is not None else None
+
+    # -- fetching (synchronous: the rows are already here) ---------------------
+
+    def fetchone(self) -> tuple | None:
+        self._check_open()
+        if not self._executed:
+            raise InterfaceError("no result set: call execute() first")
+        while self._result_index < len(self._results):
+            result = self._results[self._result_index]
+            if self._row_index < self._result_rows(result):
+                row = self._row(result, self._row_index)
+                self._row_index += 1
+                return row
+            self._result_index += 1
+            self._row_index = 0
+        return None
+
+    @staticmethod
+    def _row(result: RemoteResult, index: int) -> tuple:
+        if result.scalars:
+            return tuple(result.scalars.values())
+        return tuple(array[index] for array in result.columns.values())
+
+    @staticmethod
+    def _rows_slice(result: RemoteResult, start: int, stop: int) -> list[tuple]:
+        if result.scalars:
+            return [tuple(result.scalars.values())] if start == 0 and stop > 0 else []
+        return list(zip(*(array[start:stop] for array in result.columns.values())))
+
+    def fetchmany(self, size: int | None = None) -> list[tuple]:
+        self._check_open()
+        if not self._executed:
+            raise InterfaceError("no result set: call execute() first")
+        if size is None:
+            size = self.arraysize
+        rows: list[tuple] = []
+        remaining = max(size, 0)
+        while remaining > 0 and self._result_index < len(self._results):
+            result = self._results[self._result_index]
+            available = self._result_rows(result) - self._row_index
+            if available <= 0:
+                self._result_index += 1
+                self._row_index = 0
+                continue
+            take = min(remaining, available)
+            rows.extend(
+                self._rows_slice(result, self._row_index, self._row_index + take)
+            )
+            self._row_index += take
+            remaining -= take
+        return rows
+
+    def fetchall(self) -> list[tuple]:
+        self._check_open()
+        if not self._executed:
+            raise InterfaceError("no result set: call execute() first")
+        rows: list[tuple] = []
+        while self._result_index < len(self._results):
+            result = self._results[self._result_index]
+            total = self._result_rows(result)
+            if self._row_index < total:
+                rows.extend(self._rows_slice(result, self._row_index, total))
+            self._result_index += 1
+            self._row_index = 0
+        return rows
+
+    def __iter__(self) -> Iterator[tuple]:
+        return self
+
+    def __next__(self) -> tuple:
+        row = self.fetchone()
+        if row is None:
+            raise StopIteration
+        return row
+
+    def setinputsizes(self, sizes: Any) -> None:
+        """Required by PEP 249; this client needs no sizing hints."""
+
+    def setoutputsize(self, size: Any, column: Any | None = None) -> None:
+        """Required by PEP 249; this client needs no sizing hints."""
+
+    def __enter__(self) -> "AsyncCursor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class AsyncPreparedStatement:
+    """A statement prepared server-side, addressed by its statement id.
+
+    Executions skip text transmission and parsing entirely: the frame carries
+    the id plus bindings, the server binds into the already-compiled plan and
+    the query joins the next admission wave.
+    """
+
+    def __init__(self, connection: "AsyncConnection", reply: dict[str, Any]) -> None:
+        self._connection = connection
+        self._statement = reply["statement"]
+        self._sql = reply.get("sql", "")
+        self._parameter_count = int(reply.get("parameters", 0))
+        self._paramstyle = reply.get("paramstyle", "none")
+
+    @property
+    def sql(self) -> str:
+        return self._sql
+
+    @property
+    def parameter_count(self) -> int:
+        return self._parameter_count
+
+    @property
+    def paramstyle(self) -> str:
+        return self._paramstyle
+
+    async def execute(self, parameters: Any = ()) -> RemoteResult:
+        """Bind and run once; the result frame becomes a :class:`RemoteResult`."""
+        reply = await self._connection._request(
+            {
+                "type": "execute",
+                "statement": self._statement,
+                "params": _wire_params(parameters),
+            }
+        )
+        return RemoteResult(reply)
+
+    async def executemany(
+        self, seq_of_parameters: Sequence[Any]
+    ) -> list[RemoteResult]:
+        """Run once per parameter set (each binding admitted into the waves)."""
+        reply = await self._connection._request(
+            {
+                "type": "executemany",
+                "statement": self._statement,
+                "params": [_wire_params(p) for p in seq_of_parameters],
+            }
+        )
+        return [RemoteResult(payload) for payload in reply.get("results", [])]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AsyncPreparedStatement({self._sql!r}, "
+            f"parameters={self._parameter_count}, style={self._paramstyle})"
+        )
+
+
+class AsyncAdmin:
+    """Schema, data and adaptive-strategy administration over the wire."""
+
+    def __init__(self, connection: "AsyncConnection") -> None:
+        self._connection = connection
+
+    async def _call(self, op: str, **args: Any) -> Any:
+        reply = await self._connection._request(
+            {"type": "admin", "op": op, "args": args}
+        )
+        return reply.get("value")
+
+    async def create_table(self, name: str, columns: dict[str, Any]) -> None:
+        await self._call("create_table", name=name, columns=dict(columns))
+
+    async def drop_table(self, name: str) -> None:
+        await self._call("drop_table", name=name)
+
+    async def bulk_load(self, table: str, data: dict[str, Any]) -> None:
+        await self._call("bulk_load", table=table, data=_wire_data(data))
+
+    async def insert(self, table: str, data: dict[str, Any]) -> None:
+        await self._call("insert", table=table, data=_wire_data(data))
+
+    async def delete(self, table: str, oids: Any) -> None:
+        await self._call("delete", table=table, oids=np.asarray(oids).tolist())
+
+    async def enable_adaptive(self, table: str, column: str, **options: Any) -> None:
+        await self._call(
+            "enable_adaptive", table=table, column=column, options=options
+        )
+
+    async def disable_adaptive(self, table: str, column: str) -> None:
+        await self._call("disable_adaptive", table=table, column=column)
+
+    async def table_names(self) -> list[str]:
+        return await self._call("table_names")
+
+    async def cache_stats(self) -> dict[str, Any]:
+        """Plan-cache and batch counters of the server's engine."""
+        return await self._call("cache_stats")
+
+    async def explain(self, sql: str) -> str:
+        return await self._call("explain", sql=sql)
+
+    async def admission_stats(self) -> dict[str, Any]:
+        """Live admission counters: waves, wave sizes, backpressure, knobs."""
+        return await self._call("admission_stats")
+
+
+class AsyncConnection:
+    """One pipelined client connection to a :class:`~repro.server.ReproServer`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._receive_task: asyncio.Task | None = None
+        self._closed = False
+        self._admin = AsyncAdmin(self)
+        self.server_info: dict[str, Any] = {}
+
+    @classmethod
+    async def _open(cls, host: str, port: int) -> "AsyncConnection":
+        reader, writer = await asyncio.open_connection(host, port)
+        connection = cls(reader, writer)
+        connection._receive_task = asyncio.get_running_loop().create_task(
+            connection._receive(), name="repro-aio-receive"
+        )
+        try:
+            reply = await connection._request(
+                {"type": "hello", "protocol": PROTOCOL_VERSION, "client": "repro.aio"}
+            )
+        except BaseException:
+            await connection._teardown()
+            raise
+        connection.server_info = {
+            key: reply.get(key) for key in ("server", "version", "protocol", "knobs")
+        }
+        return connection
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    async def close(self) -> None:
+        """Orderly shutdown: flush outstanding responses, then drop the socket."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            await self._request({"type": "close"}, during_close=True)
+        except Exception:
+            pass  # the server vanished first; tear down locally regardless
+        await self._teardown()
+
+    async def _teardown(self) -> None:
+        self._closed = True
+        if self._receive_task is not None:
+            self._receive_task.cancel()
+            try:
+                await self._receive_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._receive_task = None
+        self._fail_pending(OperationalError("connection is closed"))
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+
+    async def __aenter__(self) -> "AsyncConnection":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+
+    # -- statement surfaces ---------------------------------------------------
+
+    def cursor(self) -> AsyncCursor:
+        """A new cursor over this connection."""
+        self._check_open()
+        return AsyncCursor(self)
+
+    async def prepare(self, sql: str) -> AsyncPreparedStatement:
+        """Prepare a placeholder statement server-side; returns its handle."""
+        self._check_open()
+        reply = await self._request({"type": "prepare", "sql": sql})
+        return AsyncPreparedStatement(self, reply)
+
+    async def execute(
+        self, sql: str, parameters: Any | None = None
+    ) -> AsyncCursor:
+        """Shorthand: a fresh cursor with ``sql`` already executed."""
+        cursor = self.cursor()
+        return await cursor.execute(sql, parameters)
+
+    async def executemany(
+        self, sql: str, seq_of_parameters: Sequence[Any]
+    ) -> AsyncCursor:
+        """Shorthand: a fresh cursor with ``sql`` executed per parameter set."""
+        cursor = self.cursor()
+        return await cursor.executemany(sql, seq_of_parameters)
+
+    # -- transaction stubs (PEP 249 parity with the sync facade) ---------------
+
+    async def commit(self) -> None:
+        """No-op: every statement is immediately visible (no transactions)."""
+        self._check_open()
+
+    async def rollback(self) -> None:
+        """Unsupported: the engine keeps no undo log."""
+        self._check_open()
+        raise NotSupportedError("this engine has no transactions to roll back")
+
+    # -- administration --------------------------------------------------------
+
+    @property
+    def admin(self) -> AsyncAdmin:
+        """DDL, bulk loading, adaptive controls and server stats."""
+        return self._admin
+
+    # -- plumbing --------------------------------------------------------------
+
+    async def _request(
+        self, frame: dict[str, Any], *, during_close: bool = False
+    ) -> dict[str, Any]:
+        """Send one frame and await its correlated response frame.
+
+        ERROR frames become raised PEP 249 exceptions (rebuilt by wire name),
+        so every caller sees the same exception types the in-process facade
+        raises.
+        """
+        if self._closed and not during_close:
+            raise InterfaceError("connection is closed")
+        request_id = next(self._ids)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            write_frame(self._writer, {**frame, "id": request_id})
+            await self._writer.drain()
+            return await future
+        finally:
+            self._pending.pop(request_id, None)
+
+    async def _receive(self) -> None:
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    break
+                future = self._pending.get(frame.get("id"))
+                if future is None or future.done():
+                    continue
+                if frame.get("type") == "error":
+                    future.set_exception(
+                        error_from_name(
+                            frame.get("error", ""), frame.get("message", "")
+                        )
+                    )
+                else:
+                    future.set_result(frame)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._fail_pending(OperationalError(f"connection lost: {exc}"))
+            self._closed = True
+            return
+        self._fail_pending(OperationalError("connection closed by server"))
+        self._closed = True
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for future in list(self._pending.values()):
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "open"
+        return f"AsyncConnection({state}, server={self.server_info.get('version')})"
+
+
+def _wire_params(parameters: Any) -> Any:
+    """Bindings as JSON-ready values (named mappings pass through as objects)."""
+    if isinstance(parameters, dict):
+        return {str(key): value for key, value in parameters.items()}
+    return list(parameters)
+
+
+def _wire_data(data: dict[str, Any]) -> dict[str, list]:
+    """Column arrays as JSON lists for bulk_load/insert admin frames."""
+    return {name: np.asarray(values).tolist() for name, values in data.items()}
+
+
+async def connect(
+    host: str = "127.0.0.1", port: int = 7733, *, connect_timeout: float | None = None
+) -> AsyncConnection:
+    """Open an async connection to a running repro server.
+
+    The coroutine completes after the HELLO handshake; the server's version
+    and admission knobs are available as ``connection.server_info``.
+    """
+    opening = AsyncConnection._open(host, port)
+    if connect_timeout is not None:
+        return await asyncio.wait_for(opening, connect_timeout)
+    return await opening

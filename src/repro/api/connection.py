@@ -10,6 +10,8 @@ loading, and the paper's adaptive-strategy controls — on one explicit
 
 from __future__ import annotations
 
+import warnings
+import weakref
 from typing import Any, Sequence
 
 import numpy as np
@@ -98,18 +100,30 @@ class Admin:
         with translating():
             return self._database().explain(sql)
 
-    @property
-    def plan_cache_stats(self) -> Any:
-        """The plan cache counters (hits, misses, hit ratio, generation)."""
-        return self._database().plan_cache.stats
+    def plan_cache_stats(self) -> dict[str, Any]:
+        """Deprecated alias of :meth:`cache_stats` (one stats surface).
+
+        Historically this was a separate property exposing the raw engine
+        counter object; everything it reported now lives in the ``total``
+        section of :meth:`cache_stats`, which is the one maintained surface.
+        """
+        warnings.warn(
+            "Admin.plan_cache_stats() is deprecated; use Admin.cache_stats() "
+            "(the same counters live in its 'total' section)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.cache_stats()
 
     def cache_stats(self) -> dict[str, Any]:
-        """Per-level plan-cache counters (see :meth:`Database.cache_stats`).
+        """Per-level plan-cache and batch counters (see :meth:`Database.cache_stats`).
 
         ``levels`` splits hits/misses/evictions/entries by cache level —
         ``exact`` (normalized text), ``masked`` (literal-masked text),
         ``shape`` (parsed shape) and ``prepared`` (placeholder binding) —
-        and ``total`` carries the cache-wide counters.
+        ``total`` carries the cache-wide counters, and ``batch`` reports the
+        vectorized batch executor (waves run, queries batched vs fallen back,
+        wave-size histogram).
         """
         return self._database().cache_stats()
 
@@ -137,6 +151,7 @@ class Connection:
             )
         self._closed = False
         self._admin = Admin(self)
+        self._cursors: "weakref.WeakSet[Cursor]" = weakref.WeakSet()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -149,9 +164,15 @@ class Connection:
         """Close the connection; further operations raise :class:`InterfaceError`.
 
         Idempotent, per PEP 249 — closing twice is allowed; *using* a closed
-        connection is not.
+        connection is not.  Every cursor handed out by this connection —
+        including those created implicitly by the :meth:`execute` /
+        :meth:`executemany` shorthands — is closed with it, releasing the
+        result sets it was holding.
         """
         self._closed = True
+        for cursor in list(self._cursors):
+            cursor.close()
+        self._cursors.clear()
 
     def _check_open(self) -> None:
         if self._closed:
@@ -167,9 +188,11 @@ class Connection:
     # -- statement surfaces ---------------------------------------------------
 
     def cursor(self) -> Cursor:
-        """A new cursor over this connection."""
+        """A new cursor over this connection (closed with the connection)."""
         self._check_open()
-        return Cursor(self)
+        cursor = Cursor(self)
+        self._cursors.add(cursor)
+        return cursor
 
     def prepare(self, sql: str) -> PreparedStatement:
         """Prepare a placeholder statement; the plan is lowered exactly once."""

@@ -35,6 +35,9 @@ __all__ = [
     "ProgrammingError",
     "NotSupportedError",
     "translating",
+    "translate_exception",
+    "error_name",
+    "error_from_name",
 ]
 
 
@@ -107,3 +110,60 @@ def translating() -> Iterator[None]:
         raise ProgrammingError(str(message)) from exc
     except (ValueError, TypeError) as exc:
         raise ProgrammingError(str(exc)) from exc
+
+
+def translate_exception(exc: BaseException) -> BaseException:
+    """The exception :func:`translating` would raise for ``exc``.
+
+    The functional form of the context manager, for call sites that hold an
+    exception instance instead of wrapping a block — the server front-end
+    maps engine failures from a worker thread onto the hierarchy before
+    shipping them over the wire.  Exceptions the context manager would let
+    pass through untouched are returned unchanged.
+    """
+    try:
+        with translating():
+            raise exc
+    except Error as mapped:
+        return mapped
+    except BaseException:
+        return exc
+
+
+#: Wire-protocol error identity: the hierarchy by class name, so a server can
+#: ship ``error_name(exc)`` in an ERROR frame and the async client can rebuild
+#: the same exception type with :func:`error_from_name`.
+_ERRORS_BY_NAME: dict[str, type[Exception]] = {
+    cls.__name__: cls
+    for cls in (
+        Warning,
+        Error,
+        InterfaceError,
+        DatabaseError,
+        DataError,
+        OperationalError,
+        IntegrityError,
+        InternalError,
+        ProgrammingError,
+        NotSupportedError,
+    )
+}
+
+
+def error_name(exc: BaseException) -> str:
+    """The wire name of an exception (its PEP 249 class name)."""
+    if isinstance(exc, Error) or isinstance(exc, Warning):
+        return type(exc).__name__
+    return type(translate_exception(exc)).__name__
+
+
+def error_from_name(name: str, message: str) -> Exception:
+    """Rebuild a PEP 249 exception from its wire name.
+
+    Unknown names (a newer server, a hand-crafted frame) degrade to
+    :class:`OperationalError` rather than failing the decode.
+    """
+    cls = _ERRORS_BY_NAME.get(name)
+    if cls is None or not issubclass(cls, Exception):
+        cls = OperationalError
+    return cls(message)

@@ -160,6 +160,34 @@ class PerfSuite:
                         encoding="utf-8")
         return path
 
+    def merge_write(self, path: str | Path) -> Path:
+        """Merge this suite's records into an existing report file.
+
+        Records already present in the file (by name) are replaced by this
+        suite's measurements; everything else is kept in place.  This is how
+        several benchmark scripts contribute to one standing ``BENCH_*.json``
+        — the main suite ``write()``s the report, satellite suites (e.g. the
+        server throughput bench) ``merge_write()`` their records in
+        afterwards.  A missing or unreadable file degrades to :meth:`write`.
+        """
+        path = Path(path)
+        report = self.report()
+        try:
+            existing = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            existing = None
+        if isinstance(existing, dict):
+            mine = {record["name"] for record in report["results"]}
+            kept = [
+                record
+                for record in existing.get("results", [])
+                if record.get("name") not in mine
+            ]
+            report["results"] = kept + report["results"]
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        return path
+
     def format_summary(self) -> str:
         """A fixed-width text rendering of the suite for terminal output."""
         width = max((len(r.name) for r in self.records), default=4)

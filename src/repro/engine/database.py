@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 import time
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 import numpy as np
@@ -76,6 +76,66 @@ class _BatchSpec:
         )
 
 
+#: Wave-size histogram buckets: label -> inclusive (low, high) member count.
+_WAVE_BUCKETS: tuple[tuple[str, int, float], ...] = (
+    ("2-4", 2, 4),
+    ("5-16", 5, 16),
+    ("17-64", 17, 64),
+    ("65-256", 65, 256),
+    ("257+", 257, math.inf),
+)
+
+
+@dataclass(slots=True)
+class _BatchStats:
+    """Admission-efficiency counters of the vectorized batch executor.
+
+    One *wave* is one :meth:`Database._execute_batch` call — a single
+    vectorized pass answering every member of a same-column group.  A
+    *fallback* is a statement that reached a batching entry point
+    (``execute_many`` / ``execute_prepared_many`` / ``execute_wave``) but ran
+    sequentially: not a range select, a group of one, deltas pending, or
+    batching disabled.  Surfaced through :meth:`Database.cache_stats` so the
+    server front-end's admission efficiency is observable without a profiler.
+    """
+
+    waves: int = 0
+    batched_queries: int = 0
+    fallback_queries: int = 0
+    min_wave: int = 0
+    max_wave: int = 0
+    histogram: dict[str, int] = field(
+        default_factory=lambda: {label: 0 for label, _, _ in _WAVE_BUCKETS}
+    )
+
+    def observe_wave(self, size: int) -> None:
+        self.waves += 1
+        self.batched_queries += size
+        self.min_wave = size if self.min_wave == 0 else min(self.min_wave, size)
+        self.max_wave = max(self.max_wave, size)
+        for label, low, high in _WAVE_BUCKETS:
+            if low <= size <= high:
+                self.histogram[label] += 1
+                break
+
+    def observe_fallback(self) -> None:
+        self.fallback_queries += 1
+
+    def summary(self) -> dict[str, Any]:
+        """The ``batch`` section of :meth:`Database.cache_stats`."""
+        return {
+            "waves": self.waves,
+            "batched_queries": self.batched_queries,
+            "fallback_queries": self.fallback_queries,
+            "wave_size": {
+                "min": self.min_wave,
+                "max": self.max_wave,
+                "mean": self.batched_queries / self.waves if self.waves else 0.0,
+            },
+            "wave_size_histogram": dict(self.histogram),
+        }
+
+
 class Database:
     """A self-organizing column-store database instance.
 
@@ -113,6 +173,7 @@ class Database:
         self.plan_cache = PlanCache(plan_cache_size)
         self.query_history: list[QueryResult] = []
         self._context_pool: list[ExecutionContext] = []
+        self._batch_stats = _BatchStats()
 
     # -- schema and data -----------------------------------------------------
 
@@ -249,12 +310,16 @@ class Database:
         ``levels`` maps each cache level (``exact``/``masked``/``shape``/
         ``prepared``) to its hit/miss/eviction counters and resident entry
         count; ``total`` carries the cache-wide counters plus capacity,
-        generation and the overall hit ratio.  Also surfaced on the client
-        API via ``Connection.admin.cache_stats()``.
+        generation and the overall hit ratio; ``batch`` carries the
+        vectorized batch executor's admission-efficiency counters (waves
+        executed, a queries-per-wave histogram summary, and the
+        fallback-to-sequential count).  Also surfaced on the client API via
+        ``Connection.admin.cache_stats()``.
         """
         cache = self.plan_cache
         totals = cache.stats
         return {
+            "batch": self._batch_stats.summary(),
             "levels": {
                 name: {
                     "hits": level.hits,
@@ -497,6 +562,59 @@ class Database:
                 result.parameters = values
         return results
 
+    def execute_wave(
+        self,
+        requests: Sequence[tuple[PreparedPlan, tuple[float, ...]]],
+    ) -> list[QueryResult]:
+        """One admission wave: bound statements from many clients, one batch pass.
+
+        The server front-end's engine hook.  ``requests`` pairs each member's
+        prepared plan with its already-validated bound values — the members
+        may come from *different* prepared statements (and different client
+        connections).  Eligible range selects are grouped by (table, column)
+        and answered through the vectorized batch executor exactly as in
+        :meth:`execute_prepared_many`; everything else falls back to
+        :meth:`_run_prepared`.  Everything runs on the calling thread, so a
+        server that funnels all waves through one worker thread preserves the
+        engine's single-threaded adaptation invariant (piggy-backed
+        reorganization stays once-per-batch).  Plans lowered under an older
+        cache generation are re-prepared transparently, once per distinct
+        statement.
+        """
+        requests = list(requests)
+        fresh: dict[int, PreparedPlan] = {}
+        templates: dict[int, _BatchSpec | None] = {}
+        resolved: list[tuple[PreparedPlan, tuple[float, ...]]] = []
+        items: list[tuple[str, _BatchSpec | None]] = []
+        for prepared, values in requests:
+            key = id(prepared)
+            current = fresh.get(key)
+            if current is None:
+                current = prepared
+                if current.generation != self.plan_cache.generation:
+                    current = self.prepare_statement(current.sql)
+                fresh[key] = current
+                templates[key] = (
+                    self._batch_spec(current.statement)
+                    if self._batchable(current.statement)
+                    else None
+                )
+            template = templates[key]
+            resolved.append((current, values))
+            items.append(
+                (
+                    current.sql,
+                    template.with_bound_values(values) if template is not None else None,
+                )
+            )
+        results = self._run_with_batching(
+            items, lambda index: self._run_prepared(*resolved[index])
+        )
+        for result, (_, values) in zip(results, resolved):
+            if result.batched:  # the shared scan records the placeholder text only
+                result.parameters = tuple(values)
+        return results
+
     def _run_prepared(self, prepared: PreparedPlan, values: tuple[float, ...]) -> QueryResult:
         """Execute a prepared plan with already-validated bound values."""
         total_started = time.perf_counter()
@@ -623,6 +741,7 @@ class Database:
                     else:
                         pending[j] = batched_result
             else:
+                self._batch_stats.observe_fallback()
                 results.append(fallback(index))  # records its own history
                 continue
             self.query_history.append(result)
@@ -780,6 +899,7 @@ class Database:
         disjoint members cost two binary searches each, not a scan.
         """
         total_started = time.perf_counter()
+        self._batch_stats.observe_wave(len(members))
         bounds = [spec.bounds for _, spec in members]
 
         if self.bpm.is_managed(table, column):

@@ -1,0 +1,87 @@
+"""Run a standalone repro server: ``python -m repro.server --port 7733``.
+
+Serves a fresh in-memory engine; use ``--demo-rows`` to preload a demo table
+(``demo(v float64, w float64)``, uniform values in [0, 1)) so clients have
+something to query immediately.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.server.server import ReproServer
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve one self-organizing column-store engine over TCP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7733)
+    parser.add_argument(
+        "--batch-window-us",
+        type=float,
+        default=250.0,
+        help="admission window in microseconds (0 flushes immediately)",
+    )
+    parser.add_argument("--max-inflight", type=int, default=1024)
+    parser.add_argument("--max-wave", type=int, default=256)
+    parser.add_argument(
+        "--overflow",
+        choices=("error", "wait"),
+        default="error",
+        help="backpressure policy when the admission queue is full",
+    )
+    parser.add_argument(
+        "--demo-rows",
+        type=int,
+        default=0,
+        metavar="N",
+        help="preload a 'demo' table with N uniform rows (adaptive on 'v')",
+    )
+    return parser
+
+
+async def _main(args: argparse.Namespace) -> None:
+    database = Database()
+    if args.demo_rows > 0:
+        rng = np.random.default_rng(7)
+        database.create_table("demo", {"v": "float64", "w": "float64"})
+        database.bulk_load(
+            "demo",
+            {
+                "v": rng.random(args.demo_rows),
+                "w": rng.random(args.demo_rows),
+            },
+        )
+        database.enable_adaptive("demo", "v")
+    server = ReproServer(
+        database,
+        host=args.host,
+        port=args.port,
+        batch_window_us=args.batch_window_us,
+        max_inflight=args.max_inflight,
+        max_wave=args.max_wave,
+        overflow=args.overflow,
+    )
+    async with server:
+        assert server.address is not None
+        print(f"repro server listening on {server.address[0]}:{server.address[1]}")
+        with contextlib.suppress(asyncio.CancelledError):
+            await server.serve_forever()
+
+
+def main() -> None:
+    args = _build_parser().parse_args()
+    with contextlib.suppress(KeyboardInterrupt):
+        asyncio.run(_main(args))
+
+
+if __name__ == "__main__":
+    main()

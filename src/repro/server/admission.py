@@ -1,0 +1,309 @@
+"""Batch admission control: N concurrent clients, one vectorized wave.
+
+The controller is the heart of the server front-end.  Incoming bound selects
+are not executed as they arrive: each is queued for at most ``batch_window_us``
+microseconds so that requests from *other* connections can pile on, then the
+whole wave is handed to :meth:`~repro.engine.database.Database.execute_wave`
+on a single engine worker thread — same-column selects collapse into one
+``select_many`` kernel pass (piggy-backed adaptation runs once per batch,
+preserving the engine's single-threaded adaptation invariant), everything
+else falls back to per-query prepared execution inside the same wave.
+
+Knobs (all first-class constructor parameters, surfaced over the wire in the
+HELLO response and in :meth:`AdmissionController.stats`):
+
+``batch_window_us``
+    How long the first request of a wave may wait for company.  Larger
+    windows grow waves (throughput) at the cost of idle-system latency;
+    ``0`` flushes as soon as the event loop gets around to it.  Under
+    backlog (``max_wave`` requests already queued) the window is skipped —
+    waves run back-to-back.
+``max_wave``
+    Batch-size cap: the most members one wave may carry.
+``max_inflight``
+    Bounded-queue backpressure: when this many requests are queued, further
+    submissions either raise :class:`~repro.api.exceptions.OperationalError`
+    (``overflow="error"``) or await until the queue drains
+    (``overflow="wait"``).
+``max_inflight_per_connection``
+    Per-connection fairness cap: one firehose client saturating its own cap
+    awaits (its reads stop, TCP pushes back) while other connections keep
+    submitting.  Waves are drained **round-robin across connections** — each
+    round takes at most one request per connection — so an interactive
+    client's query rides the very next wave no matter how deep the
+    firehose's backlog is.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from concurrent.futures import Executor
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.api.exceptions import OperationalError, translate_exception
+
+
+@dataclass(slots=True)
+class _Request:
+    """One admitted statement waiting for its wave."""
+
+    connection_id: Hashable
+    prepared: Any
+    values: tuple[float, ...]
+    future: asyncio.Future
+
+
+@dataclass
+class AdmissionStats:
+    """Counters of one controller (monotonic; ``pending`` is instantaneous)."""
+
+    admitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected_overflow: int = 0
+    waves: int = 0
+    last_wave: int = 0
+    max_wave_seen: int = 0
+    wave_members: int = 0
+    connections_seen: set = field(default_factory=set, repr=False)
+
+    def as_dict(self, pending: int) -> dict[str, Any]:
+        return {
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected_overflow": self.rejected_overflow,
+            "waves": self.waves,
+            "last_wave": self.last_wave,
+            "max_wave_seen": self.max_wave_seen,
+            "mean_wave": self.wave_members / self.waves if self.waves else 0.0,
+            "pending": pending,
+        }
+
+
+class AdmissionController:
+    """Window-batched, fairness-aware admission onto one engine worker.
+
+    The controller owns no sockets and no threads of its own: the server
+    hands it an executor (one worker thread — the engine thread) and submits
+    ``(connection_id, prepared_plan, bound_values)`` triples from its
+    connection handlers.  ``submit`` returns an :class:`asyncio.Future` that
+    resolves to the member's :class:`~repro.engine.result.QueryResult`.
+    """
+
+    def __init__(
+        self,
+        database: Any,
+        *,
+        executor: Executor,
+        batch_window_us: float = 250.0,
+        max_inflight: int = 1024,
+        max_wave: int = 256,
+        max_inflight_per_connection: int | None = None,
+        overflow: str = "error",
+    ) -> None:
+        if batch_window_us < 0:
+            raise ValueError("batch_window_us must be >= 0")
+        if max_inflight < 1 or max_wave < 1:
+            raise ValueError("max_inflight and max_wave must be >= 1")
+        if overflow not in ("error", "wait"):
+            raise ValueError(f"overflow must be 'error' or 'wait', got {overflow!r}")
+        if max_inflight_per_connection is None:
+            max_inflight_per_connection = max(1, max_inflight // 4)
+        if max_inflight_per_connection < 1:
+            raise ValueError("max_inflight_per_connection must be >= 1")
+        self._database = database
+        self._executor = executor
+        self.batch_window_us = float(batch_window_us)
+        self.max_inflight = int(max_inflight)
+        self.max_wave = int(max_wave)
+        self.max_inflight_per_connection = int(max_inflight_per_connection)
+        self.overflow = overflow
+
+        self._queues: dict[Hashable, deque[_Request]] = {}
+        self._ring: deque[Hashable] = deque()  # connections with queued requests
+        self._pending = 0
+        self._running = False
+        self._task: asyncio.Task | None = None
+        self._wake = asyncio.Event()
+        self._drained = asyncio.Condition()
+        self.stats = AdmissionStats()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the flush loop on the running event loop."""
+        if self._running:
+            return
+        self._running = True
+        self._task = asyncio.get_running_loop().create_task(
+            self._run(), name="repro-admission-flush"
+        )
+
+    async def stop(self) -> None:
+        """Stop the flush loop and fail everything still queued."""
+        if not self._running:
+            return
+        self._running = False
+        self._wake.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+        for queue in self._queues.values():
+            while queue:
+                request = queue.popleft()
+                self._pending -= 1
+                if not request.future.done():
+                    request.future.set_exception(
+                        OperationalError("server is shutting down")
+                    )
+        self._queues.clear()
+        self._ring.clear()
+        async with self._drained:
+            self._drained.notify_all()
+
+    @property
+    def pending(self) -> int:
+        """Requests currently queued (not yet drained into a wave)."""
+        return self._pending
+
+    def connection_pending(self, connection_id: Hashable) -> int:
+        """Requests of one connection currently queued."""
+        queue = self._queues.get(connection_id)
+        return len(queue) if queue else 0
+
+    def forget_connection(self, connection_id: Hashable) -> None:
+        """Drop a disconnected client's queue (its futures are cancelled)."""
+        queue = self._queues.pop(connection_id, None)
+        if queue:
+            self._pending -= len(queue)
+            for request in queue:
+                if not request.future.done():
+                    request.future.cancel()
+        try:
+            self._ring.remove(connection_id)
+        except ValueError:
+            pass
+
+    def knobs(self) -> dict[str, Any]:
+        """The admission knobs, as advertised in the HELLO response."""
+        return {
+            "batch_window_us": self.batch_window_us,
+            "max_inflight": self.max_inflight,
+            "max_wave": self.max_wave,
+            "max_inflight_per_connection": self.max_inflight_per_connection,
+            "overflow": self.overflow,
+        }
+
+    # -- submission -----------------------------------------------------------
+
+    async def submit(
+        self, connection_id: Hashable, prepared: Any, values: tuple[float, ...]
+    ) -> asyncio.Future:
+        """Queue one bound statement; the future resolves with its result.
+
+        Applies the per-connection fairness cap (always awaited: the
+        submitting handler stops reading, which is exactly the backpressure a
+        firehose should feel) and the global ``max_inflight`` bound (policy
+        per the ``overflow`` knob).
+        """
+        self._check_running()
+        while self.connection_pending(connection_id) >= self.max_inflight_per_connection:
+            await self._wait_drained()
+        if self._pending >= self.max_inflight:
+            if self.overflow == "error":
+                self.stats.rejected_overflow += 1
+                raise OperationalError(
+                    f"admission queue full: {self._pending} requests in flight "
+                    f"(max_inflight={self.max_inflight})"
+                )
+            while self._pending >= self.max_inflight:
+                await self._wait_drained()
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        request = _Request(connection_id, prepared, tuple(values), future)
+        queue = self._queues.get(connection_id)
+        if queue is None:
+            queue = deque()
+            self._queues[connection_id] = queue
+        if not queue:
+            self._ring.append(connection_id)
+        queue.append(request)
+        self._pending += 1
+        self.stats.admitted += 1
+        self.stats.connections_seen.add(connection_id)
+        self._wake.set()
+        return future
+
+    def _check_running(self) -> None:
+        if not self._running:
+            raise OperationalError("admission controller is not running")
+
+    async def _wait_drained(self) -> None:
+        async with self._drained:
+            await self._drained.wait()
+        self._check_running()
+
+    # -- the flush loop -------------------------------------------------------
+
+    async def _run(self) -> None:
+        while self._running:
+            await self._wake.wait()
+            if not self._running:
+                break
+            if self._pending < self.max_wave and self.batch_window_us > 0:
+                # The admission window: give the rest of the fleet a moment
+                # to pile onto this wave.  Skipped under backlog — a full
+                # wave is already waiting, so waves run back-to-back.
+                await asyncio.sleep(self.batch_window_us / 1e6)
+                if not self._running:
+                    break
+            wave = self._drain_wave()
+            if self._pending == 0:
+                self._wake.clear()
+            if wave:
+                await self._execute_wave(wave)
+                async with self._drained:
+                    self._drained.notify_all()
+
+    def _drain_wave(self) -> list[_Request]:
+        """Up to ``max_wave`` requests, round-robin across connections."""
+        wave: list[_Request] = []
+        while self._ring and len(wave) < self.max_wave:
+            connection_id = self._ring.popleft()
+            queue = self._queues.get(connection_id)
+            if not queue:
+                continue
+            request = queue.popleft()
+            self._pending -= 1
+            if queue:
+                self._ring.append(connection_id)
+            if request.future.done():  # cancelled by a vanished client
+                continue
+            wave.append(request)
+        return wave
+
+    async def _execute_wave(self, wave: list[_Request]) -> None:
+        """One engine pass for the whole wave, on the worker thread."""
+        self.stats.waves += 1
+        self.stats.last_wave = len(wave)
+        self.stats.wave_members += len(wave)
+        self.stats.max_wave_seen = max(self.stats.max_wave_seen, len(wave))
+        payload = [(request.prepared, request.values) for request in wave]
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                self._executor, self._database.execute_wave, payload
+            )
+        except Exception as exc:  # noqa: BLE001 - the wave fails as one unit
+            mapped = translate_exception(exc)
+            for request in wave:
+                if not request.future.done():
+                    request.future.set_exception(mapped)
+            self.stats.failed += len(wave)
+        else:
+            for request, result in zip(wave, results):
+                if not request.future.done():
+                    request.future.set_result(result)
+            self.stats.completed += len(wave)

@@ -1,0 +1,103 @@
+"""The length-prefixed JSON wire protocol of the repro server.
+
+Every frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding one object with a ``"type"`` field.  The client
+speaks first (HELLO) and correlates responses by echoing request ids — the
+server may answer out of order across requests of *different* kinds, but
+every response carries the ``id`` of the request it answers.
+
+Client -> server frame types:
+
+========== ==================================================================
+``hello``       protocol handshake (``protocol`` must match)
+``prepare``     lower a placeholder statement once; returns a statement id
+``execute``     one statement: ``sql`` (literal), or ``sql``/``statement``
+                plus ``params`` (bound — goes through batch admission)
+``executemany`` one prepared shape, many bindings (each admitted separately,
+                so bindings batch with *other* connections' queries too)
+``admin``       DDL / bulk load / adaptive-strategy controls / stats
+``close``       orderly shutdown of this connection
+========== ==================================================================
+
+Server -> client: ``hello``, ``prepared``, ``result`` and ``error`` (the
+PEP 249 class name plus message — see
+:func:`repro.api.exceptions.error_from_name`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any
+
+#: Bumped on incompatible frame changes; HELLO frames carry it.
+PROTOCOL_VERSION = 1
+
+#: A frame larger than this is a protocol violation, not a big result —
+#: results are bounded by the engine's table sizes, not by the wire.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """A malformed frame: bad length, bad JSON, or a non-object payload."""
+
+
+def _coerce(value: Any) -> Any:
+    """JSON fallback: numpy scalars (and anything ``.item()``-able) unwrap."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"{type(value).__name__} is not JSON serializable")
+
+
+def encode_frame(payload: dict[str, Any]) -> bytes:
+    """One wire frame: 4-byte length prefix + compact JSON."""
+    body = json.dumps(payload, separators=(",", ":"), default=_coerce).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> dict[str, Any]:
+    """The payload of one frame body (without the length prefix)."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "type" not in payload:
+        raise ProtocolError("frame payload must be a JSON object with a 'type' field")
+    return payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
+    """The next frame from a stream, or ``None`` on a clean EOF.
+
+    EOF in the middle of a frame (header or body) raises
+    :class:`ProtocolError` — the peer vanished mid-sentence.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed inside a frame header") from exc
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed inside a frame body") from exc
+    return decode_frame(body)
+
+
+def write_frame(writer: asyncio.StreamWriter, payload: dict[str, Any]) -> None:
+    """Queue one frame on a stream writer (callers ``await writer.drain()``)."""
+    writer.write(encode_frame(payload))

@@ -64,6 +64,25 @@ class TestConnectionLifecycle:
         with pytest.raises(api.InterfaceError):
             cursor.execute("SELECT objid FROM p WHERE ra < 1.0")
 
+    def test_close_closes_handed_out_cursors(self, connection):
+        explicit = connection.cursor()
+        shorthand = connection.execute(
+            "SELECT objid FROM p WHERE ra BETWEEN 1.0 AND 2.0"
+        )
+        many = connection.executemany(
+            "SELECT objid FROM p WHERE ra BETWEEN ? AND ?", [(1.0, 2.0), (3.0, 4.0)]
+        )
+        assert shorthand.results  # holding result sets before the close
+        connection.close()
+        for cursor in (explicit, shorthand, many):
+            assert cursor.closed
+        # The convenience cursors released their result sets — close() really
+        # ran on them, they are not merely flagged closed via the connection.
+        assert shorthand.results == []
+        assert many.results == []
+        with pytest.raises(api.InterfaceError):
+            shorthand.fetchall()
+
     def test_commit_noop_rollback_unsupported(self, connection):
         connection.commit()
         with pytest.raises(api.NotSupportedError):
@@ -115,8 +134,13 @@ class TestAdmin:
     def test_explain_and_stats(self, connection):
         plan = connection.admin.explain("SELECT objid FROM p WHERE ra < 10")
         assert plan.startswith("function user.")
-        stats = connection.admin.plan_cache_stats
-        assert stats.capacity == 128
+        stats = connection.admin.cache_stats()
+        assert stats["total"]["capacity"] == 128
+
+    def test_plan_cache_stats_is_a_deprecated_alias(self, connection):
+        with pytest.warns(DeprecationWarning, match="cache_stats"):
+            stats = connection.admin.plan_cache_stats()
+        assert stats == connection.admin.cache_stats()
 
     def test_syntax_error_maps_to_programming_error(self, connection):
         with pytest.raises(api.ProgrammingError):
@@ -130,12 +154,31 @@ class TestAdminCacheStats:
         cursor.execute("SELECT objid FROM p WHERE ra BETWEEN 1.0 AND 2.0")
         cursor.execute("SELECT objid FROM p WHERE ra BETWEEN ? AND ?", (3.0, 4.0))
         stats = connection.admin.cache_stats()
-        assert set(stats) == {"levels", "total"}
+        assert set(stats) == {"batch", "levels", "total"}
         assert stats["levels"]["exact"]["hits"] == 1
         assert stats["levels"]["prepared"]["entries"] == 1
         assert stats["total"]["size"] == sum(
             level["entries"] for level in stats["levels"].values()
         )
+
+    def test_cache_stats_batch_section(self, connection):
+        before = connection.admin.cache_stats()["batch"]
+        assert before["waves"] == 0 and before["batched_queries"] == 0
+        cursor = connection.cursor()
+        cursor.executemany(
+            "SELECT objid FROM p WHERE ra BETWEEN ? AND ?",
+            [(1.0, 2.0), (5.0, 6.0), (9.0, 10.0)],
+        )
+        cursor.executemany(
+            "SELECT count(*) FROM p WHERE ra BETWEEN ? AND ?",  # aggregates don't batch
+            [(1.0, 2.0), (5.0, 6.0)],
+        )
+        stats = connection.admin.cache_stats()["batch"]
+        assert stats["waves"] == 1
+        assert stats["batched_queries"] == 3
+        assert stats["fallback_queries"] == 2  # the aggregate members
+        assert stats["wave_size"] == {"min": 3, "max": 3, "mean": 3.0}
+        assert stats["wave_size_histogram"]["2-4"] == 1
 
     def test_cache_stats_requires_open_connection(self, connection):
         connection.close()

@@ -14,11 +14,12 @@ compare_bench = importlib.util.module_from_spec(_SPEC)
 _SPEC.loader.exec_module(compare_bench)
 
 
-def report(**values: float) -> dict:
+def report(unit: str = "s", **values: float) -> dict:
     return {
         "suite": "segment_kernels",
         "results": [
-            {"name": name, "value": value, "unit": "s"} for name, value in values.items()
+            {"name": name, "value": value, "unit": unit}
+            for name, value in values.items()
         ],
     }
 
@@ -59,6 +60,49 @@ class TestCheck:
         )
         assert len(failures) == 1
         assert "missing" in failures[0]
+
+    def test_throughput_units_invert_the_direction(self):
+        # qps is higher-is-better: dropping to 40% of the baseline is a 2.5x
+        # regression even though current/baseline would read as 0.4.
+        failures, _ = compare_bench.check(
+            report(unit="qps", batch_throughput_qps=1000.0),
+            report(unit="qps", batch_throughput_qps=400.0),
+            [("batch_throughput_qps", 2.0)],
+        )
+        assert len(failures) == 1
+        assert "2.50x" in failures[0] and "qps" in failures[0]
+
+    def test_throughput_within_limit_passes(self):
+        failures, warnings = compare_bench.check(
+            report(unit="qps", batch_throughput_qps=1000.0),
+            report(unit="qps", batch_throughput_qps=600.0),
+            [("batch_throughput_qps", 2.0)],
+        )
+        assert failures == [] and warnings == []
+
+    def test_throughput_improvement_passes(self):
+        failures, _ = compare_bench.check(
+            report(unit="qps", batch_throughput_qps=1000.0),
+            report(unit="qps", batch_throughput_qps=9000.0),
+            [("batch_throughput_qps", 2.0)],
+        )
+        assert failures == []
+
+    def test_zero_current_throughput_fails(self):
+        failures, _ = compare_bench.check(
+            report(unit="qps", batch_throughput_qps=1000.0),
+            report(unit="qps", batch_throughput_qps=0.0),
+            [("batch_throughput_qps", 2.0)],
+        )
+        assert len(failures) == 1 and "zero" in failures[0]
+
+    def test_speedup_unit_also_inverts(self):
+        failures, _ = compare_bench.check(
+            report(unit="x", speedup=10.0),
+            report(unit="x", speedup=3.0),
+            [("speedup", 2.0)],
+        )
+        assert len(failures) == 1
 
     def test_multiple_gates_evaluate_independently(self):
         failures, _ = compare_bench.check(

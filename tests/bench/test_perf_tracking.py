@@ -59,6 +59,39 @@ class TestPerfSuite:
         # The file is valid, stable-key JSON (the CI artifact contract).
         assert json.loads(path.read_text())["suite"] == "unit"
 
+    def test_merge_write_replaces_own_records_and_keeps_the_rest(self, tmp_path):
+        path = tmp_path / "BENCH_unit.json"
+        first = PerfSuite("unit")
+        first.derive("kept", 1.0)
+        first.derive("replaced", 2.0)
+        first.write(path)
+
+        second = PerfSuite("unit")
+        second.derive("replaced", 20.0)
+        second.derive("added", 30.0)
+        second.merge_write(path)
+
+        by_name = {
+            record["name"]: record["value"]
+            for record in load_report(path)["results"]
+        }
+        assert by_name == {"kept": 1.0, "replaced": 20.0, "added": 30.0}
+
+    def test_merge_write_into_a_missing_file_degrades_to_write(self, tmp_path):
+        suite = PerfSuite("unit")
+        suite.derive("only", 5.0)
+        path = suite.merge_write(tmp_path / "BENCH_new.json")
+        report = load_report(path)
+        assert [record["name"] for record in report["results"]] == ["only"]
+
+    def test_merge_write_over_garbage_degrades_to_write(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        suite = PerfSuite("unit")
+        suite.derive("only", 5.0)
+        suite.merge_write(path)
+        assert load_report(path)["results"][0]["name"] == "only"
+
     def test_format_summary_mentions_every_record(self):
         suite = PerfSuite("unit")
         suite.measure("noop", lambda: None, number=2, repeat=1)

@@ -117,6 +117,97 @@ class TestBatchExecutor:
             assert _rows(got) == _rows(expected)
 
 
+class TestExecuteWave:
+    """The server front-end's engine hook: one wave, many plans, many clients."""
+
+    def test_wave_of_mixed_prepared_statements(self, database):
+        select = database.prepare_statement(
+            "SELECT objid FROM p WHERE ra BETWEEN ? AND ?"
+        )
+        count = database.prepare_statement(
+            "SELECT count(*) FROM p WHERE ra BETWEEN ? AND ?"
+        )
+        wave = [
+            (select, (10.0, 12.0)),
+            (count, (10.0, 12.0)),
+            (select, (100.0, 103.0)),
+            (select, (350.0, 351.0)),
+        ]
+        results = database.execute_wave(wave)
+        assert len(results) == 4
+        # The range selects batch; the aggregate falls back inside the wave.
+        assert [result.batched for result in results] == [True, False, True, True]
+        reference = _reference(
+            [
+                "SELECT objid FROM p WHERE ra BETWEEN 10.0 AND 12.0",
+                "SELECT objid FROM p WHERE ra BETWEEN 100.0 AND 103.0",
+                "SELECT objid FROM p WHERE ra BETWEEN 350.0 AND 351.0",
+            ]
+        )
+        assert _rows(results[0]) == _rows(reference[0])
+        assert _rows(results[2]) == _rows(reference[1])
+        assert _rows(results[3]) == _rows(reference[2])
+        assert results[1].scalars["count(*)"] == len(_rows(reference[0]))
+
+    def test_batched_members_record_their_bound_parameters(self, database):
+        prepared = database.prepare_statement(
+            "SELECT objid FROM p WHERE ra BETWEEN ? AND ?"
+        )
+        bindings = [(10.0, 12.0), (100.0, 103.0)]
+        results = database.execute_wave(
+            [(prepared, values) for values in bindings]
+        )
+        assert all(result.batched for result in results)
+        assert [result.parameters for result in results] == bindings
+
+    def test_stale_plans_are_reprepared_once(self, database):
+        prepared = database.prepare_statement(
+            "SELECT objid FROM p WHERE ra BETWEEN ? AND ?"
+        )
+        # Invalidate every compiled plan: the wave must re-prepare, not fail.
+        database.enable_adaptive(
+            "p", "ra", strategy="segmentation", model="apm", m_min=2 * KB, m_max=8 * KB
+        )
+        assert prepared.generation != database.plan_cache.generation
+        bindings = [(10.0, 12.0), (100.0, 103.0), (350.0, 351.0)]
+        results = database.execute_wave([(prepared, values) for values in bindings])
+        assert all(result.batched for result in results)
+        reference = _reference(
+            [
+                f"SELECT objid FROM p WHERE ra BETWEEN {low} AND {high}"
+                for low, high in bindings
+            ]
+        )
+        for got, expected in zip(results, reference):
+            assert _rows(got) == _rows(expected)
+
+    def test_wave_updates_batch_stats(self, database):
+        prepared = database.prepare_statement(
+            "SELECT objid FROM p WHERE ra BETWEEN ? AND ?"
+        )
+        count = database.prepare_statement(
+            "SELECT count(*) FROM p WHERE ra BETWEEN ? AND ?"
+        )
+        database.execute_wave(
+            [
+                (prepared, (10.0, 12.0)),
+                (prepared, (100.0, 103.0)),
+                (prepared, (350.0, 351.0)),
+                (count, (10.0, 12.0)),
+            ]
+        )
+        batch = database.cache_stats()["batch"]
+        assert batch["waves"] == 1
+        assert batch["batched_queries"] == 3
+        assert batch["fallback_queries"] == 1
+        assert batch["wave_size"] == {"min": 3, "max": 3, "mean": 3.0}
+        assert batch["wave_size_histogram"]["2-4"] == 1
+
+    def test_empty_wave_is_a_no_op(self, database):
+        assert database.execute_wave([]) == []
+        assert database.cache_stats()["batch"]["waves"] == 0
+
+
 class TestBatchedProfiles:
     def test_batched_results_carry_a_real_profile(self, database):
         results = database.execute_many(DISJOINT)

@@ -1,0 +1,142 @@
+"""Property: concurrent clients through admission == serial in-process runs.
+
+N async clients fire interleaved bound range selects at one server; every
+query's answer must be permutation-equal to the same query run serially, one
+at a time, against a fresh in-process database built from the same data —
+with adaptive reorganization enabled on both sides, so wave-batched
+piggy-backed adaptation and per-query adaptation both run.  Admission may
+reorder and regroup queries arbitrarily; it must never change answers.
+
+The suite drives its own event loops with ``asyncio.run`` (no pytest-asyncio
+in the toolchain).
+
+This file also pins the Fig 5–7 accounting fixture by content hash: the
+server front-end must not perturb the simulation baselines it rides above.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from pathlib import Path
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.aio
+from repro.engine.database import Database
+from repro.server import ReproServer
+from repro.util.units import KB
+
+SQL = "SELECT objid FROM p WHERE ra BETWEEN ? AND ?"
+N_ROWS = 1_500
+DOMAIN_HIGH = 360.0
+
+seeds = st.integers(min_value=0, max_value=2**16)
+client_counts = st.integers(min_value=2, max_value=4)
+queries_per_client = st.integers(min_value=1, max_value=6)
+
+
+def build_database(seed: int) -> Database:
+    rng = np.random.default_rng(seed)
+    database = Database()
+    database.create_table("p", {"objid": "int64", "ra": "float64"})
+    database.bulk_load(
+        "p",
+        {
+            "objid": np.arange(N_ROWS, dtype=np.int64),
+            "ra": rng.uniform(0.0, DOMAIN_HIGH, size=N_ROWS),
+        },
+    )
+    database.enable_adaptive(
+        "p", "ra", strategy="segmentation", model="apm", m_min=1 * KB, m_max=4 * KB
+    )
+    return database
+
+
+def make_workloads(
+    clients: int, per_client: int, seed: int
+) -> list[list[tuple[float, float]]]:
+    """Per-client bound lists: wide, narrow, empty and duplicate ranges."""
+    rng = np.random.default_rng(seed)
+    workloads: list[list[tuple[float, float]]] = []
+    for _ in range(clients):
+        bounds: list[tuple[float, float]] = []
+        for _ in range(per_client):
+            low = float(rng.uniform(0.0, DOMAIN_HIGH))
+            kind = rng.integers(0, 4)
+            if kind == 0:  # wide
+                bounds.append((low, float(low + rng.uniform(0.0, DOMAIN_HIGH / 2))))
+            elif kind == 1:  # narrow
+                bounds.append((low, float(low + rng.uniform(0.0, 2.0))))
+            elif kind == 2:  # empty
+                bounds.append((low, low))
+            else:  # duplicate an earlier range (same or another client)
+                flattened = [b for workload in workloads for b in workload] + bounds
+                bounds.append(
+                    flattened[rng.integers(0, len(flattened))]
+                    if flattened
+                    else (low, low + 5.0)
+                )
+        workloads.append(bounds)
+    return workloads
+
+
+async def concurrent_answers(
+    database: Database, workloads: list[list[tuple[float, float]]]
+) -> list[list[list[int]]]:
+    """Each client's per-query sorted objid lists, run concurrently."""
+
+    async def client(address, bounds):
+        connection = await repro.aio.connect(*address)
+        statement = await connection.prepare(SQL)
+        answers = []
+        for low, high in bounds:
+            result = await statement.execute((low, high))
+            answers.append(sorted(result.columns.get("objid", np.array([])).tolist()))
+        await connection.close()
+        return answers
+
+    async with ReproServer(database, port=0, batch_window_us=1_000.0) as server:
+        return list(
+            await asyncio.gather(
+                *(client(server.address, bounds) for bounds in workloads)
+            )
+        )
+
+
+def serial_answers(
+    seed: int, workloads: list[list[tuple[float, float]]]
+) -> list[list[list[int]]]:
+    """The same queries, one at a time, on a fresh identical database."""
+    database = build_database(seed)
+    prepared = database.prepare_statement(SQL)
+    answers: list[list[list[int]]] = []
+    for bounds in workloads:
+        rows = []
+        for low, high in bounds:
+            result = database.execute_prepared(prepared, (low, high))
+            rows.append(sorted(np.asarray(result.columns["objid"]).tolist()))
+        answers.append(rows)
+    return answers
+
+
+@given(seed=seeds, clients=client_counts, per_client=queries_per_client)
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_concurrent_clients_equal_serial_execution(seed, clients, per_client):
+    workloads = make_workloads(clients, per_client, seed + 1)
+    got = asyncio.run(concurrent_answers(build_database(seed), workloads))
+    expected = serial_answers(seed, workloads)
+    assert got == expected
+
+
+def test_fig5_7_fixture_is_untouched():
+    """The committed Fig 5–7 accounting fixture must survive this subsystem."""
+    fixture = Path(__file__).resolve().parent.parent / "data" / "fig5_7_accounting_fixture.json"
+    digest = hashlib.sha256(fixture.read_bytes()).hexdigest()
+    assert digest == "9989a99ee8f25d5c5e7017f208316d705b5df4c9889cedf8f1c16cb61ec8c91b"
