@@ -13,10 +13,13 @@ direction is unit-aware: for seconds-unit metrics worse means slower
 (``current / baseline > X``); for rate and ratio units (``qps``, ``x``)
 higher is better, so the gate inverts (``baseline / current > X`` — e.g. a
 throughput metric fails when it drops below 1/X of the baseline).  Metrics
-present in both reports are always printed for context.  A gated metric
+present in both reports are always printed for context; metrics measured for
+the first time (current only) are printed marked ``(new)``.  A gated metric
 missing from the *baseline* is a warning, not a failure (the metric was
-introduced after the baseline was committed); missing from the *current*
-report it is a failure (the suite stopped measuring something it gates on).
+introduced after the baseline was committed) — likewise one missing from
+*both* reports (a first-run metric whose bench has not produced a baseline
+yet).  Missing from the *current* report while the baseline has it is a
+failure (the suite stopped measuring something it gates on).
 """
 
 from __future__ import annotations
@@ -60,7 +63,15 @@ def check(
     warnings: list[str] = []
     for metric, max_ratio in gates:
         if metric not in current_records:
-            failures.append(f"{metric}: missing from the current report")
+            if metric not in baseline_records:
+                # A first-run metric: gated in CI before its bench has ever
+                # written a baseline (or run at all).  Skip, don't fail —
+                # the gate arms itself once the baseline is committed.
+                warnings.append(
+                    f"{metric}: in neither report yet (skipping the gate)"
+                )
+            else:
+                failures.append(f"{metric}: missing from the current report")
             continue
         if metric not in baseline_records:
             warnings.append(f"{metric}: not in the baseline yet (skipping the gate)")
@@ -90,14 +101,28 @@ def check(
 
 
 def format_table(baseline: dict, current: dict) -> str:
-    """All shared timing metrics as ``name ratio`` lines (ratio >1 = slower)."""
+    """All shared timing metrics as ``name ratio`` lines (ratio >1 = slower).
+
+    Metrics measured for the first time (present only in the current report)
+    are listed too, marked ``(new)`` — they have no ratio yet.
+    """
     ratios = compare_to_baseline(current, baseline)
+    baseline_names = {record["name"] for record in baseline.get("results", [])}
     units = {record["name"]: record.get("unit", "") for record in current.get("results", [])}
+    fresh = [
+        record
+        for record in current.get("results", [])
+        if record["name"] not in baseline_names
+    ]
     lines = ["== current / baseline =="]
-    width = max((len(name) for name in ratios), default=4)
+    names = list(ratios) + [record["name"] for record in fresh]
+    width = max((len(name) for name in names), default=4)
     for name, ratio in sorted(ratios.items()):
         marker = "" if units.get(name) != "s" else ("  <-- slower" if ratio > 1.25 else "")
         lines.append(f"  {name:<{width}s} {ratio:8.3f}x{marker}")
+    for record in sorted(fresh, key=lambda record: record["name"]):
+        rendered = _render(record["value"], record.get("unit", "s"))
+        lines.append(f"  {record['name']:<{width}s} {rendered:>9s}  (new)")
     return "\n".join(lines)
 
 

@@ -406,8 +406,22 @@ class AsyncAdmin:
         return await self._call("explain", sql=sql)
 
     async def admission_stats(self) -> dict[str, Any]:
-        """Live admission counters: waves, wave sizes, backpressure, knobs."""
+        """Live admission counters: waves, wave sizes, backpressure, knobs.
+
+        Behind a multi-replica server the payload adds ``per_replica`` —
+        waves, members and queue depth per replica shard.
+        """
         return await self._call("admission_stats")
+
+    async def router_stats(self) -> dict[str, Any]:
+        """Scale-out observability: per-replica qps, queue depth, divergence.
+
+        On a single-engine server this returns ``{"replicas": 1, ...}``; on a
+        ``--replicas N`` server it carries per-replica service counters and
+        segment counts, cluster assignments, traffic shares, the observed
+        cost model and the last ``retune`` report.
+        """
+        return await self._call("router_stats")
 
 
 class AsyncConnection:

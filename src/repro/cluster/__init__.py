@@ -1,0 +1,32 @@
+"""Scale-out: workload-clustered engine replicas with load-aware routing.
+
+``Router`` fronts N :class:`~repro.engine.database.Database` replicas, each
+pinned to its own worker thread (the single-threaded piggy-backed-adaptation
+invariant holds per replica).  ``workload_clustering`` partitions recent
+query shapes by range similarity; ``Router.retune()`` iterates Hang 2024's
+partition→tune→re-cost loop until total modeled cost stops dropping, so the
+replicas' adaptive layouts *diverge on purpose* — each serves the slice of
+the workload it is organized for.
+"""
+
+from repro.cluster.replica import EngineReplica, clone_database
+from repro.cluster.router import Router, what_if_bytes
+from repro.cluster.stats import merge_cache_stats
+from repro.cluster.workload_clustering import (
+    WorkloadClustering,
+    cluster_workload,
+    kmeans,
+    query_features,
+)
+
+__all__ = [
+    "EngineReplica",
+    "Router",
+    "WorkloadClustering",
+    "clone_database",
+    "cluster_workload",
+    "kmeans",
+    "merge_cache_stats",
+    "query_features",
+    "what_if_bytes",
+]

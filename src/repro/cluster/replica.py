@@ -1,0 +1,115 @@
+"""One engine replica: a :class:`Database` pinned to its own worker thread.
+
+The paper's adaptation is deliberately single-threaded — a selection may
+reorganize the column it scans — and PR 6 preserved that invariant by
+funnelling every wave through one engine worker.  Scale-out keeps the same
+contract per replica: each :class:`EngineReplica` owns a fresh ``Database``
+clone and a one-thread executor, so all execution *and* adaptation for that
+replica happen on its own worker.  Replicas never share mutable state;
+divergence between their adaptive layouts is the whole point.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.engine.database import Database
+
+__all__ = ["EngineReplica", "clone_database"]
+
+
+def clone_database(source: Database) -> Database:
+    """A fresh :class:`Database` with the same tables, data and adaptive setup.
+
+    Data arrays are **copied** (replicas must not share base arrays: each
+    replica's adaptive strategy reorganizes its own copy) and adaptive
+    strategies are re-enabled from the recorded enable-time configuration,
+    so the clone starts from the paper's initial one-segment state and is
+    free to diverge from the source as it serves its own workload slice.
+    """
+    for table in source.table_names():
+        if source.catalog.table(table).has_deltas:
+            raise ValueError(
+                f"cannot clone a database with pending deltas (table {table!r}); "
+                "flush or bulk-load first"
+            )
+    configs = source.adaptive_configs()
+    for handle in source.bpm.handles():
+        if (handle.table, handle.column) not in configs:
+            raise ValueError(
+                f"adaptive column {handle.table}.{handle.column} was enabled with "
+                "a model instance; only string-named models can be cloned"
+            )
+    clone = Database(plan_cache_size=source.plan_cache.capacity)
+    for table in source.table_names():
+        schema = source.catalog.schema(table)
+        clone.create_table(
+            table, {name: schema.dtype_of(name) for name in schema.column_names}
+        )
+        data = {
+            name: np.array(source.catalog.column(table, name).bind(0).tail, copy=True)
+            for name in schema.column_names
+        }
+        clone.bulk_load(table, data)
+    for (table, column), config in configs.items():
+        clone.enable_adaptive(table, column, **config)
+    return clone
+
+
+class EngineReplica:
+    """A database clone plus the single worker thread that owns it.
+
+    All calls that touch the replica's engine go through :meth:`submit`
+    (async, returns a future) or :meth:`run` (blocks) so they serialize on
+    the replica's own thread.  ``queries_served`` / ``busy_seconds`` are only
+    ever written from that thread; readers treat them as advisory.
+    """
+
+    def __init__(self, index: int, database: Database) -> None:
+        self.index = int(index)
+        self.database = database
+        self.executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"repro-replica-{index}"
+        )
+        self.queries_served = 0
+        self.waves_served = 0
+        self.busy_seconds = 0.0
+        self._closed = False
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> Future:
+        """Schedule ``fn(*args)`` on the replica's worker thread."""
+        return self.executor.submit(fn, *args)
+
+    def run(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Run ``fn(*args)`` on the replica's worker thread and wait."""
+        return self.submit(fn, *args).result()
+
+    def close(self) -> None:
+        """Shut down the worker thread (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self.executor.shutdown(wait=True)
+
+    def stats(self) -> dict[str, Any]:
+        """Advisory service counters plus the divergence summary."""
+        qps = self.queries_served / self.busy_seconds if self.busy_seconds else 0.0
+        columns: dict[str, dict[str, Any]] = {}
+        for handle in self.database.bpm.handles():
+            description = handle.adaptive.describe()
+            columns[f"{handle.table}.{handle.column}"] = {
+                "strategy": handle.strategy,
+                "segment_count": description.get("segment_count"),
+                "storage_bytes": description.get("storage_bytes"),
+                "queries_executed": description.get("queries_executed"),
+            }
+        return {
+            "index": self.index,
+            "queries_served": self.queries_served,
+            "waves_served": self.waves_served,
+            "busy_seconds": self.busy_seconds,
+            "qps": qps,
+            "columns": columns,
+        }

@@ -1,0 +1,613 @@
+"""Load-aware routing across N divergently-adapted engine replicas.
+
+The paper adapts one column inside one engine; the :class:`Router` scales
+that out following Hang 2024's recipe (SNIPPETS.md ``Tuner``): cluster the
+recent workload by query-range similarity, let each replica's adaptive
+strategies specialize on its partition, iterate the partition→tune→re-cost
+loop until total modeled cost stops dropping (:meth:`Router.retune`,
+Algorithm 1's shape), and route load-aware with a hot-query threshold so no
+single replica melts under a dominant cluster.
+
+Where Hang shells out to Postgres+hypopg for *estimated* what-if costs, this
+engine's substrate is real: routing costs are EWMA'd from observed
+``QueryProfile.execute_seconds`` per cluster×replica, and the retune loop's
+what-if model reads the actual adaptive layouts — overlapping-segment bytes
+for :class:`~repro.core.segmentation.SegmentedColumn`, Algorithm-3 cover
+bytes for :class:`~repro.core.replication.ReplicatedColumn` — the same
+quantities the paper's Fig 5–16 accounting tracks.
+
+Threading model: :meth:`route` runs on the caller (event-loop) thread and is
+a few microseconds; :meth:`execute_wave_on` runs **on the target replica's
+worker thread** (the admission controller submits it to
+``Router.executor(i)``), so each replica preserves the single-threaded
+piggy-backed-adaptation invariant.  Shared routing state is guarded by one
+lock with tiny hold times.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.cluster.replica import EngineReplica, clone_database
+from repro.cluster.stats import merge_cache_stats
+from repro.cluster.workload_clustering import WorkloadClustering, cluster_workload
+from repro.core.ranges import ValueRange
+from repro.engine.database import Database
+from repro.engine.plan_cache import PreparedPlan
+
+__all__ = ["Router", "what_if_bytes"]
+
+#: Sentinel in the per-prepared spec cache: statement shape is not a range select.
+_NOT_A_RANGE = object()
+
+
+def what_if_bytes(adaptive: Any, low: float, high: float) -> float:
+    """Modeled bytes this adaptive column would read for ``[low, high)``.
+
+    Reads only layout metadata — no data is touched and no adaptation runs —
+    so it is safe as a cost probe (it still must run on the owning replica's
+    thread, since adaptation may be rewriting the layout concurrently).
+    """
+    domain = adaptive.domain
+    query = ValueRange(
+        min(max(low, domain.low), domain.high),
+        min(max(high, domain.low), domain.high),
+    )
+    if query.is_empty:
+        return 0.0
+    meta_index = getattr(adaptive, "meta_index", None)
+    if meta_index is not None:  # segmentation-family layout
+        return float(meta_index.estimated_footprint_bytes(query))
+    get_cover = getattr(adaptive, "get_cover", None)
+    if get_cover is not None:  # replication-family layout (Algorithm 3 cover)
+        return float(sum(node.size_bytes for node in get_cover(query)))
+    return float(adaptive.total_bytes)
+
+
+class Router:
+    """N database replicas behind one load-aware, self-retuning front.
+
+    The router quacks like a :class:`Database` for the server's admin and
+    execution surface — DDL and data loads fan out to every replica, reads
+    are routed — so :class:`~repro.server.ReproServer` keeps a single code
+    path whether it fronts one engine or a fleet.
+
+    Parameters
+    ----------
+    database:
+        The seed engine; it becomes replica 0 as-is (no copy) and is cloned
+        ``n_replicas - 1`` times (data copied, adaptive strategies re-enabled
+        fresh so each clone diverges on its own traffic).
+    n_replicas:
+        Fleet size.
+    n_clusters:
+        Workload clusters for :meth:`retune`; defaults to ``n_replicas``.
+    hot_query_threshold:
+        A cluster whose share of recent routed traffic exceeds this fraction
+        is *hot*: its queries round-robin across all replicas instead of
+        sticking to the best-fit replica.
+    ewma_alpha:
+        Smoothing for the observed per-cluster×replica cost model.
+    history:
+        How many recent query bounds feed :meth:`retune`.
+    seed:
+        Clustering determinism.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        n_replicas: int = 2,
+        *,
+        n_clusters: int | None = None,
+        hot_query_threshold: float = 0.5,
+        ewma_alpha: float = 0.2,
+        history: int = 4096,
+        share_window: int = 128,
+        seed: int | None = 0,
+    ) -> None:
+        if n_replicas < 1:
+            raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+        if not 0.0 < hot_query_threshold <= 1.0:
+            raise ValueError("hot_query_threshold must be in (0, 1]")
+        self.hot_query_threshold = float(hot_query_threshold)
+        self.ewma_alpha = float(ewma_alpha)
+        self.n_clusters = int(n_clusters) if n_clusters else int(n_replicas)
+        self.seed = seed
+        self.replicas: list[EngineReplica] = [EngineReplica(0, database)]
+        for index in range(1, n_replicas):
+            self.replicas.append(EngineReplica(index, clone_database(database)))
+
+        self._lock = threading.Lock()
+        self._clustering: WorkloadClustering | None = None
+        self._preferred: dict[int, int] = {}  # cluster -> best-fit replica
+        self._cost: dict[int, list[float | None]] = {}  # EWMA seconds per cluster×replica
+        self._shares: list[float] = []  # recent traffic share per cluster
+        self._share_beta = 1.0 / max(int(share_window), 1)
+        self._history: list[tuple[float, float]] = []
+        self._history_cap = int(history)
+        self._spec_cache: dict[int, Any] = {}  # id(prepared) -> _BatchSpec | sentinel
+        self._rr = itertools.count()
+        self._routed = 0
+        self._hot_routes = 0
+        self._unclustered_routes = 0
+        self._retunes = 0
+        self._last_retune: dict[str, Any] | None = None
+        self._reads_seen: list[float] = [0.0] * n_replicas
+        self._io_ewma: list[float] = [0.0] * n_replicas
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def database(self) -> Database:
+        """Replica 0's engine (the seed database)."""
+        return self.replicas[0].database
+
+    @property
+    def plan_cache(self):
+        """Replica 0's plan cache — the fleet's canonical generation counter.
+
+        DDL fans out to every replica, so generations advance in lockstep;
+        per-replica plans are resolved lazily by SQL text at wave time.
+        """
+        return self.replicas[0].database.plan_cache
+
+    def executor(self, index: int):
+        """The single-thread executor owning replica ``index``."""
+        return self.replicas[index].executor
+
+    def close(self) -> None:
+        """Shut down every replica worker (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            for replica in self.replicas:
+                replica.close()
+
+    def __enter__(self) -> "Router":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- bounds extraction ----------------------------------------------------
+
+    def _bounds_of(
+        self, prepared: PreparedPlan, values: tuple[float, ...]
+    ) -> tuple[float, float] | None:
+        """Half-open ``[low, high)`` of a bound range select, else ``None``.
+
+        The statement-shape decision is cached per prepared plan, so the
+        per-query work is one template substitution — no parsing.
+        """
+        database = self.replicas[0].database
+        key = id(prepared)
+        template = self._spec_cache.get(key)
+        if template is None:
+            template = (
+                database._batch_spec(prepared.statement)
+                if database._batchable(prepared.statement)
+                else _NOT_A_RANGE
+            )
+            if len(self._spec_cache) > 4096:  # stale prepared ids; cheap reset
+                self._spec_cache.clear()
+            self._spec_cache[key] = template
+        if template is _NOT_A_RANGE:
+            return None
+        try:
+            bounds = template.with_bound_values(values).bounds
+        except (TypeError, ValueError, IndexError):
+            return None
+        return Database._half_open_floats(*bounds)
+
+    # -- routing (event-loop thread, hot path) --------------------------------
+
+    def route(self, prepared: PreparedPlan, values: tuple[float, ...]) -> int:
+        """Pick the replica for one bound statement.
+
+        Best-fit on the observed EWMA cost of the query's cluster; a cluster
+        above the hot threshold (or anything unclustered) spreads
+        round-robin.
+        """
+        bounds = self._bounds_of(prepared, values)
+        with self._lock:
+            self._routed += 1
+            clustering = self._clustering
+            if bounds is not None and len(self._history) < self._history_cap:
+                self._history.append(bounds)
+            if bounds is None or clustering is None:
+                self._unclustered_routes += 1
+                return next(self._rr) % len(self.replicas)
+            cluster = clustering.assign_one(*bounds)
+            self._touch_share(cluster)
+            if self._shares[cluster] > self.hot_query_threshold:
+                self._hot_routes += 1
+                return next(self._rr) % len(self.replicas)
+            costs = self._cost.get(cluster)
+            best: tuple[float, int] | None = None
+            if costs is not None:
+                for index, cost in enumerate(costs):
+                    if cost is not None and (best is None or cost < best[0]):
+                        best = (cost, index)
+            if best is not None:
+                return best[1]
+            preferred = self._preferred.get(cluster)
+            if preferred is not None:
+                return preferred
+            return next(self._rr) % len(self.replicas)
+
+    def _touch_share(self, cluster: int) -> None:
+        """EWMA traffic share per cluster (lock held)."""
+        beta = self._share_beta
+        shares = self._shares
+        if len(shares) <= cluster:
+            shares.extend([0.0] * (cluster + 1 - len(shares)))
+        for index in range(len(shares)):
+            shares[index] *= 1.0 - beta
+        shares[cluster] += beta
+
+    # -- execution (replica worker threads) -----------------------------------
+
+    def execute_wave_on(
+        self,
+        index: int,
+        payload: Sequence[tuple[PreparedPlan, tuple[float, ...]]],
+    ) -> list[Any]:
+        """Run one admission wave on replica ``index`` (on its worker thread).
+
+        Prepared plans were compiled against replica 0's catalog; they are
+        re-resolved here by SQL text — a warm plan-cache dict hit per
+        distinct statement — so every replica executes its *own* compiled
+        plan against its *own* diverged layout.
+        """
+        replica = self.replicas[index]
+        database = replica.database
+        started = time.perf_counter()
+        local = [
+            (database.prepare_statement(prepared.sql), values)
+            for prepared, values in payload
+        ]
+        results = database.execute_wave(local)
+        elapsed = time.perf_counter() - started
+        replica.queries_served += len(results)
+        replica.waves_served += 1
+        replica.busy_seconds += elapsed
+        self._observe(index, payload, results)
+        return results
+
+    def execute_prepared(self, prepared: PreparedPlan, values: tuple[float, ...]):
+        """Route one bound statement and run it on its replica's thread."""
+        index = self.route(prepared, values)
+        return self.replicas[index].run(
+            self.execute_wave_on, index, [(prepared, tuple(values))]
+        )[0]
+
+    def _observe(
+        self,
+        index: int,
+        payload: Sequence[tuple[PreparedPlan, tuple[float, ...]]],
+        results: Sequence[Any],
+    ) -> None:
+        """Feed the cost model from one executed wave (replica thread)."""
+        reads = 0.0
+        for handle in self.replicas[index].database.bpm.handles():
+            accountant = getattr(handle.adaptive, "accountant", None)
+            if accountant is not None:
+                reads += float(accountant.total_reads_bytes)
+        alpha = self.ewma_alpha
+        with self._lock:
+            clustering = self._clustering
+            delta = max(reads - self._reads_seen[index], 0.0)
+            self._reads_seen[index] = reads
+            if results:
+                per_query = delta / len(results)
+                previous = self._io_ewma[index]
+                self._io_ewma[index] = (
+                    per_query if previous == 0.0
+                    else (1.0 - alpha) * previous + alpha * per_query
+                )
+            if clustering is None:
+                return
+            for (prepared, values), result in zip(payload, results):
+                bounds = self._bounds_of(prepared, values)
+                if bounds is None:
+                    continue
+                profile = getattr(result, "profile", None)
+                seconds = getattr(profile, "execute_seconds", None)
+                if seconds is None:
+                    seconds = getattr(result, "total_seconds", 0.0)
+                cluster = clustering.assign_one(*bounds)
+                costs = self._cost.setdefault(
+                    cluster, [None] * len(self.replicas)
+                )
+                previous = costs[index]
+                costs[index] = (
+                    float(seconds)
+                    if previous is None
+                    else (1.0 - alpha) * previous + alpha * float(seconds)
+                )
+
+    # -- retune (Hang 2024 Algorithm 1 shape) ---------------------------------
+
+    def retune(
+        self,
+        *,
+        n_clusters: int | None = None,
+        max_iterations: int = 6,
+        sample_per_cluster: int = 48,
+        replay: bool = True,
+    ) -> dict[str, Any]:
+        """Re-partition the workload and re-specialize the fleet.
+
+        1. cluster the recent query history by range similarity;
+        2. seed a balanced cluster→replica assignment;
+        3. loop: *tune* — replay each cluster's sample on its assigned
+           replica (adaptation specializes the layout) — then *re-cost* the
+           what-if matrix over the diverged layouts and re-assign every
+           cluster best-fit; stop when total modeled cost stops dropping.
+
+        Returns a report with the modeled cost trajectory; the routing table
+        and cost model are swapped atomically at the end.
+        """
+        with self._lock:
+            history = list(self._history)
+        minimum = max(len(self.replicas), 2)
+        if len(history) < minimum:
+            return {
+                "retuned": False,
+                "reason": f"need >= {minimum} routed range queries, have {len(history)}",
+            }
+        lows = np.asarray([low for low, _ in history], dtype=np.float64)
+        highs = np.asarray([high for _, high in history], dtype=np.float64)
+        domain = self._fleet_domain(lows, highs)
+        clustering = cluster_workload(
+            lows,
+            highs,
+            n_clusters or self.n_clusters,
+            domain_low=domain[0],
+            domain_high=domain[1],
+            seed=self.seed,
+        )
+        labels = clustering.labels
+        samples: list[list[tuple[float, float]]] = []
+        for cluster in range(clustering.n_clusters):
+            member_indices = np.flatnonzero(labels == cluster)[:sample_per_cluster]
+            samples.append([history[i] for i in member_indices])
+        sizes = clustering.sizes()
+
+        # Balanced seed: biggest clusters first, dealt round-robin.
+        order = sorted(range(clustering.n_clusters), key=lambda c: -sizes[c])
+        assignment = {
+            cluster: position % len(self.replicas)
+            for position, cluster in enumerate(order)
+        }
+
+        def cost_matrix() -> list[list[float]]:
+            futures = [
+                replica.submit(self._modeled_costs, replica, samples)
+                for replica in self.replicas
+            ]
+            return [future.result() for future in futures]
+
+        matrix = cost_matrix()
+        trajectory = [self._total_cost(matrix, assignment, sizes)]
+        best_total = trajectory[0]
+        best_assignment = dict(assignment)
+        for _ in range(max_iterations):
+            if replay:
+                futures = []
+                for replica in self.replicas:
+                    bounds = [
+                        pair
+                        for cluster, target in assignment.items()
+                        if target == replica.index
+                        for pair in samples[cluster]
+                    ]
+                    if bounds:
+                        futures.append(replica.submit(self._replay, replica, bounds))
+                for future in futures:
+                    future.result()
+            matrix = cost_matrix()
+            assignment = {
+                cluster: min(
+                    range(len(self.replicas)), key=lambda r: matrix[r][cluster]
+                )
+                for cluster in range(clustering.n_clusters)
+            }
+            total = self._total_cost(matrix, assignment, sizes)
+            trajectory.append(total)
+            if total < best_total * (1.0 - 1e-3):
+                best_total = total
+                best_assignment = dict(assignment)
+            else:
+                break  # Algorithm 1: stop when cost stops dropping
+
+        report = {
+            "retuned": True,
+            "n_clusters": clustering.n_clusters,
+            "history": len(history),
+            "initial_cost_bytes": trajectory[0],
+            "final_cost_bytes": best_total,
+            "improved": best_total < trajectory[0],
+            "cost_trajectory_bytes": trajectory,
+            "assignment": {int(c): int(r) for c, r in best_assignment.items()},
+            "clustering": clustering.describe(),
+        }
+        with self._lock:
+            self._clustering = clustering
+            self._preferred = dict(best_assignment)
+            self._cost = {}
+            total_trained = float(sizes.sum()) or 1.0
+            self._shares = [float(s) / total_trained for s in sizes]
+            self._retunes += 1
+            self._last_retune = report
+        return report
+
+    def _fleet_domain(self, lows: np.ndarray, highs: np.ndarray) -> tuple[float, float]:
+        """Feature-normalization domain: the managed columns', else the data's."""
+        for handle in self.replicas[0].database.bpm.handles():
+            domain = getattr(handle.adaptive, "domain", None)
+            if domain is not None:
+                return float(domain.low), float(domain.high)
+        finite_lows = lows[np.isfinite(lows)]
+        finite_highs = highs[np.isfinite(highs)]
+        low = float(finite_lows.min()) if finite_lows.size else 0.0
+        high = float(finite_highs.max()) if finite_highs.size else 1.0
+        return low, max(high, low + 1e-9)
+
+    @staticmethod
+    def _modeled_costs(
+        replica: EngineReplica, samples: list[list[tuple[float, float]]]
+    ) -> list[float]:
+        """Mean what-if bytes per cluster on this replica (replica thread)."""
+        handles = list(replica.database.bpm.handles())
+        costs: list[float] = []
+        for sample in samples:
+            if not sample or not handles:
+                costs.append(0.0)
+                continue
+            total = 0.0
+            for low, high in sample:
+                for handle in handles:
+                    total += what_if_bytes(handle.adaptive, low, high)
+            costs.append(total / len(sample))
+        return costs
+
+    @staticmethod
+    def _replay(replica: EngineReplica, bounds: list[tuple[float, float]]) -> None:
+        """Replay sampled queries so adaptation specializes (replica thread)."""
+        for handle in replica.database.bpm.handles():
+            adaptive = handle.adaptive
+            domain = adaptive.domain
+            for low, high in bounds:
+                low = min(max(low, domain.low), domain.high)
+                high = min(max(high, low), domain.high)
+                if high > low:
+                    adaptive.select(low, high)
+
+    @staticmethod
+    def _total_cost(
+        matrix: list[list[float]], assignment: dict[int, int], sizes: np.ndarray
+    ) -> float:
+        """Traffic-weighted modeled cost of an assignment."""
+        return float(
+            sum(
+                sizes[cluster] * matrix[replica][cluster]
+                for cluster, replica in assignment.items()
+            )
+        )
+
+    # -- database-compatible surface (fan-out & delegation) --------------------
+
+    def _fan_out(self, op: str, *args: Any, copy_arrays: bool = False) -> list[Any]:
+        """Run ``database.<op>(*args)`` on every replica, concurrently."""
+        futures = []
+        for replica in self.replicas:
+            replica_args = args
+            if copy_arrays and replica.index > 0 and args:
+                # Replicas must not share mutable base arrays.
+                replica_args = tuple(
+                    {
+                        key: np.array(value, copy=True)
+                        for key, value in argument.items()
+                    }
+                    if isinstance(argument, dict)
+                    else argument
+                    for argument in args
+                )
+            futures.append(
+                replica.submit(getattr(replica.database, op), *replica_args)
+            )
+        return [future.result() for future in futures]
+
+    def create_table(self, name: str, columns: dict[str, Any]) -> None:
+        self._fan_out("create_table", name, columns)
+
+    def drop_table(self, name: str) -> None:
+        self._fan_out("drop_table", name)
+        with self._lock:
+            self._spec_cache.clear()
+
+    def bulk_load(self, table: str, data: dict[str, Any]) -> None:
+        self._fan_out("bulk_load", table, data, copy_arrays=True)
+
+    def insert(self, table: str, data: dict[str, Any]) -> None:
+        self._fan_out("insert", table, data, copy_arrays=True)
+
+    def delete(self, table: str, oids: Any) -> None:
+        self._fan_out("delete", table, oids)
+
+    def enable_adaptive(self, table: str, column: str, **options: Any) -> Any:
+        futures = [
+            replica.submit(
+                lambda db=replica.database: db.enable_adaptive(table, column, **options)
+            )
+            for replica in self.replicas
+        ]
+        return [future.result() for future in futures][0]
+
+    def disable_adaptive(self, table: str, column: str) -> None:
+        self._fan_out("disable_adaptive", table, column)
+
+    def table_names(self) -> list[str]:
+        return self.replicas[0].database.table_names()
+
+    def prepare_statement(self, sql: str) -> PreparedPlan:
+        return self.replicas[0].run(self.replicas[0].database.prepare_statement, sql)
+
+    def execute(self, sql: str):
+        """Route a literal statement round-robin onto a replica worker."""
+        index = next(self._rr) % len(self.replicas)
+        replica = self.replicas[index]
+        return replica.run(replica.database.execute, sql)
+
+    def explain(self, sql: str) -> str:
+        return self.replicas[0].run(self.replicas[0].database.explain, sql)
+
+    def cache_stats(self) -> dict[str, Any]:
+        """Fleet cache counters: single-engine shape + per-replica breakdown."""
+        return merge_cache_stats(
+            [replica.database.cache_stats() for replica in self.replicas]
+        )
+
+    # -- observability ---------------------------------------------------------
+
+    def router_stats(self) -> dict[str, Any]:
+        """Routing, cost-model and divergence summary for the admin surface."""
+        with self._lock:
+            clustering = self._clustering
+            stats: dict[str, Any] = {
+                "replicas": [replica.stats() for replica in self.replicas],
+                "routing": {
+                    "routed": self._routed,
+                    "hot_routes": self._hot_routes,
+                    "unclustered_routes": self._unclustered_routes,
+                    "history": len(self._history),
+                    "hot_query_threshold": self.hot_query_threshold,
+                },
+                "cost_model": {
+                    "ewma_alpha": self.ewma_alpha,
+                    "observed": {
+                        str(cluster): [
+                            None if cost is None else float(cost) for cost in costs
+                        ]
+                        for cluster, costs in self._cost.items()
+                    },
+                    "io_ewma_bytes_per_query": list(self._io_ewma),
+                },
+                "clusters": clustering.describe() if clustering else None,
+                "assignment": {str(c): r for c, r in self._preferred.items()},
+                "shares": list(self._shares),
+                "retunes": self._retunes,
+                "last_retune": self._last_retune,
+            }
+        return stats

@@ -174,6 +174,7 @@ class Database:
         self.query_history: list[QueryResult] = []
         self._context_pool: list[ExecutionContext] = []
         self._batch_stats = _BatchStats()
+        self._adaptive_configs: dict[tuple[str, str], dict[str, Any]] = {}
 
     # -- schema and data -----------------------------------------------------
 
@@ -188,6 +189,9 @@ class Database:
         for handle in list(self.bpm.handles()):
             if handle.table == name:
                 self.bpm.disable(handle.table, handle.column)
+        self._adaptive_configs = {
+            key: value for key, value in self._adaptive_configs.items() if key[0] != name
+        }
         self.catalog.drop_table(name)
         self.plan_cache.clear()
 
@@ -242,10 +246,28 @@ class Database:
             raise ValueError(
                 f"cannot enable adaptive organisation on empty column {table}.{column}"
             )
+        config: dict[str, Any] | None = None
+        if isinstance(model, str) or model is None:
+            config = {
+                "strategy": strategy,
+                "model": model,
+                "m_min": m_min,
+                "m_max": m_max,
+                "seed": seed,
+                **options,
+            }
         if isinstance(model, str):
             model = model_from_name(model, m_min=m_min, m_max=m_max, seed=seed)
         handle = self.bpm.enable(table, column, strategy=strategy, model=model,
                                  values=values, **options)
+        # Remember how the column was enabled so replica cloning
+        # (repro.cluster) can rebuild an equivalent fresh strategy.  Model
+        # *instances* are stateful and cannot be re-instantiated from here,
+        # so only string-named models are recorded.
+        if config is not None:
+            self._adaptive_configs[(table, column)] = config
+        else:
+            self._adaptive_configs.pop((table, column), None)
         self.plan_cache.clear()
         return handle
 
@@ -298,7 +320,17 @@ class Database:
     def disable_adaptive(self, table: str, column: str) -> None:
         """Return a column to plain positional organisation."""
         self.bpm.disable(table.lower(), column.lower())
+        self._adaptive_configs.pop((table.lower(), column.lower()), None)
         self.plan_cache.clear()
+
+    def adaptive_configs(self) -> dict[tuple[str, str], dict[str, Any]]:
+        """Enable-time configuration per managed ``(table, column)``.
+
+        Only registrations made with a string-named model appear here;
+        replica cloning needs these to rebuild an equivalent strategy on a
+        fresh engine.
+        """
+        return {key: dict(value) for key, value in self._adaptive_configs.items()}
 
     def adaptive_handle(self, table: str, column: str) -> AdaptiveColumnHandle:
         """The BPM handle of an adaptive column (for inspection)."""

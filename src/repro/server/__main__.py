@@ -39,6 +39,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="backpressure policy when the admission queue is full",
     )
     parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        metavar="N",
+        help="engine replicas behind the load-aware router (1 = single engine)",
+    )
+    parser.add_argument(
+        "--hot-query-threshold",
+        type=float,
+        default=0.5,
+        help="traffic share above which a query cluster spreads over all replicas",
+    )
+    parser.add_argument(
         "--demo-rows",
         type=int,
         default=0,
@@ -69,10 +82,15 @@ async def _main(args: argparse.Namespace) -> None:
         max_inflight=args.max_inflight,
         max_wave=args.max_wave,
         overflow=args.overflow,
+        replicas=args.replicas,
+        router_knobs={"hot_query_threshold": args.hot_query_threshold},
     )
     async with server:
         assert server.address is not None
-        print(f"repro server listening on {server.address[0]}:{server.address[1]}")
+        print(
+            f"repro server listening on {server.address[0]}:{server.address[1]}"
+            + (f" ({args.replicas} routed replicas)" if args.replicas > 1 else "")
+        )
         with contextlib.suppress(asyncio.CancelledError):
             await server.serve_forever()
 

@@ -9,6 +9,13 @@ on a single engine worker thread — same-column selects collapse into one
 preserving the engine's single-threaded adaptation invariant), everything
 else falls back to per-query prepared execution inside the same wave.
 
+When the controller fronts a :class:`~repro.cluster.Router` it keeps **one
+wave queue per replica**: each submission is routed to a replica up front
+(load-aware, cluster best-fit), queued on that replica's shard, and each
+flush window drains *one wave per replica*, executed concurrently — every
+replica on its own worker thread, so the per-replica adaptation invariant
+holds while the fleet proceeds in parallel.
+
 Knobs (all first-class constructor parameters, surfaced over the wire in the
 HELLO response and in :meth:`AdmissionController.stats`):
 
@@ -19,7 +26,7 @@ HELLO response and in :meth:`AdmissionController.stats`):
     backlog (``max_wave`` requests already queued) the window is skipped —
     waves run back-to-back.
 ``max_wave``
-    Batch-size cap: the most members one wave may carry.
+    Batch-size cap: the most members one wave may carry (per replica).
 ``max_inflight``
     Bounded-queue backpressure: when this many requests are queued, further
     submissions either raise :class:`~repro.api.exceptions.OperationalError`
@@ -55,6 +62,17 @@ class _Request:
     future: asyncio.Future
 
 
+@dataclass(slots=True)
+class _Shard:
+    """Per-replica wave queue: per-connection FIFOs plus the fairness ring."""
+
+    queues: dict[Hashable, deque[_Request]] = field(default_factory=dict)
+    ring: deque[Hashable] = field(default_factory=deque)
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self.queues.values())
+
+
 @dataclass
 class AdmissionStats:
     """Counters of one controller (monotonic; ``pending`` is instantaneous)."""
@@ -68,9 +86,13 @@ class AdmissionStats:
     max_wave_seen: int = 0
     wave_members: int = 0
     connections_seen: set = field(default_factory=set, repr=False)
+    replica_waves: list[int] = field(default_factory=list)
+    replica_members: list[int] = field(default_factory=list)
 
-    def as_dict(self, pending: int) -> dict[str, Any]:
-        return {
+    def as_dict(
+        self, pending: int, replica_pending: list[int] | None = None
+    ) -> dict[str, Any]:
+        payload = {
             "admitted": self.admitted,
             "completed": self.completed,
             "failed": self.failed,
@@ -81,16 +103,37 @@ class AdmissionStats:
             "mean_wave": self.wave_members / self.waves if self.waves else 0.0,
             "pending": pending,
         }
+        if len(self.replica_waves) > 1:
+            pending_list = replica_pending or [0] * len(self.replica_waves)
+            payload["per_replica"] = [
+                {
+                    "waves": self.replica_waves[index],
+                    "members": self.replica_members[index],
+                    "mean_wave": (
+                        self.replica_members[index] / self.replica_waves[index]
+                        if self.replica_waves[index]
+                        else 0.0
+                    ),
+                    "pending": pending_list[index],
+                }
+                for index in range(len(self.replica_waves))
+            ]
+        return payload
 
 
 class AdmissionController:
-    """Window-batched, fairness-aware admission onto one engine worker.
+    """Window-batched, fairness-aware admission onto one or N engine workers.
 
     The controller owns no sockets and no threads of its own: the server
     hands it an executor (one worker thread — the engine thread) and submits
     ``(connection_id, prepared_plan, bound_values)`` triples from its
     connection handlers.  ``submit`` returns an :class:`asyncio.Future` that
     resolves to the member's :class:`~repro.engine.result.QueryResult`.
+
+    ``database`` may be a :class:`~repro.engine.database.Database` (one
+    shard, executed on ``executor``) or a :class:`~repro.cluster.Router`
+    (one shard per replica, each wave executed on its replica's own
+    executor; routing happens at submit time via ``Router.route``).
     """
 
     def __init__(
@@ -116,20 +159,26 @@ class AdmissionController:
             raise ValueError("max_inflight_per_connection must be >= 1")
         self._database = database
         self._executor = executor
+        # A Router quacks like a Database but routes and owns its replica
+        # executors; duck-typed so repro.server has no hard cluster import.
+        self._router = database if hasattr(database, "execute_wave_on") else None
+        n_replicas = self._router.n_replicas if self._router is not None else 1
         self.batch_window_us = float(batch_window_us)
         self.max_inflight = int(max_inflight)
         self.max_wave = int(max_wave)
         self.max_inflight_per_connection = int(max_inflight_per_connection)
         self.overflow = overflow
 
-        self._queues: dict[Hashable, deque[_Request]] = {}
-        self._ring: deque[Hashable] = deque()  # connections with queued requests
+        self._shards: list[_Shard] = [_Shard() for _ in range(n_replicas)]
+        self._connection_pending: dict[Hashable, int] = {}
         self._pending = 0
         self._running = False
         self._task: asyncio.Task | None = None
         self._wake = asyncio.Event()
         self._drained = asyncio.Condition()
-        self.stats = AdmissionStats()
+        self.stats = AdmissionStats(
+            replica_waves=[0] * n_replicas, replica_members=[0] * n_replicas
+        )
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -151,16 +200,18 @@ class AdmissionController:
         if self._task is not None:
             await self._task
             self._task = None
-        for queue in self._queues.values():
-            while queue:
-                request = queue.popleft()
-                self._pending -= 1
-                if not request.future.done():
-                    request.future.set_exception(
-                        OperationalError("server is shutting down")
-                    )
-        self._queues.clear()
-        self._ring.clear()
+        for shard in self._shards:
+            for queue in shard.queues.values():
+                while queue:
+                    request = queue.popleft()
+                    self._pending -= 1
+                    if not request.future.done():
+                        request.future.set_exception(
+                            OperationalError("server is shutting down")
+                        )
+            shard.queues.clear()
+            shard.ring.clear()
+        self._connection_pending.clear()
         async with self._drained:
             self._drained.notify_all()
 
@@ -169,23 +220,33 @@ class AdmissionController:
         """Requests currently queued (not yet drained into a wave)."""
         return self._pending
 
+    @property
+    def n_replicas(self) -> int:
+        """Wave shards (1 for a single engine, N behind a Router)."""
+        return len(self._shards)
+
+    def replica_pending(self) -> list[int]:
+        """Per-shard queue depth (instantaneous)."""
+        return [len(shard) for shard in self._shards]
+
     def connection_pending(self, connection_id: Hashable) -> int:
-        """Requests of one connection currently queued."""
-        queue = self._queues.get(connection_id)
-        return len(queue) if queue else 0
+        """Requests of one connection currently queued (across shards)."""
+        return self._connection_pending.get(connection_id, 0)
 
     def forget_connection(self, connection_id: Hashable) -> None:
-        """Drop a disconnected client's queue (its futures are cancelled)."""
-        queue = self._queues.pop(connection_id, None)
-        if queue:
-            self._pending -= len(queue)
-            for request in queue:
-                if not request.future.done():
-                    request.future.cancel()
-        try:
-            self._ring.remove(connection_id)
-        except ValueError:
-            pass
+        """Drop a disconnected client's queues (its futures are cancelled)."""
+        for shard in self._shards:
+            queue = shard.queues.pop(connection_id, None)
+            if queue:
+                self._pending -= len(queue)
+                for request in queue:
+                    if not request.future.done():
+                        request.future.cancel()
+            try:
+                shard.ring.remove(connection_id)
+            except ValueError:
+                pass
+        self._connection_pending.pop(connection_id, None)
 
     def knobs(self) -> dict[str, Any]:
         """The admission knobs, as advertised in the HELLO response."""
@@ -195,6 +256,7 @@ class AdmissionController:
             "max_wave": self.max_wave,
             "max_inflight_per_connection": self.max_inflight_per_connection,
             "overflow": self.overflow,
+            "replicas": len(self._shards),
         }
 
     # -- submission -----------------------------------------------------------
@@ -207,7 +269,8 @@ class AdmissionController:
         Applies the per-connection fairness cap (always awaited: the
         submitting handler stops reading, which is exactly the backpressure a
         firehose should feel) and the global ``max_inflight`` bound (policy
-        per the ``overflow`` knob).
+        per the ``overflow`` knob).  Behind a Router the statement is routed
+        to its replica here, before queueing.
         """
         self._check_running()
         while self.connection_pending(connection_id) >= self.max_inflight_per_connection:
@@ -221,16 +284,24 @@ class AdmissionController:
                 )
             while self._pending >= self.max_inflight:
                 await self._wait_drained()
+        values = tuple(values)
+        shard_index = (
+            self._router.route(prepared, values) if self._router is not None else 0
+        )
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        request = _Request(connection_id, prepared, tuple(values), future)
-        queue = self._queues.get(connection_id)
+        request = _Request(connection_id, prepared, values, future)
+        shard = self._shards[shard_index]
+        queue = shard.queues.get(connection_id)
         if queue is None:
             queue = deque()
-            self._queues[connection_id] = queue
+            shard.queues[connection_id] = queue
         if not queue:
-            self._ring.append(connection_id)
+            shard.ring.append(connection_id)
         queue.append(request)
         self._pending += 1
+        self._connection_pending[connection_id] = (
+            self._connection_pending.get(connection_id, 0) + 1
+        )
         self.stats.admitted += 1
         self.stats.connections_seen.add(connection_id)
         self._wake.set()
@@ -259,43 +330,68 @@ class AdmissionController:
                 await asyncio.sleep(self.batch_window_us / 1e6)
                 if not self._running:
                     break
-            wave = self._drain_wave()
+            waves = [
+                (index, wave)
+                for index in range(len(self._shards))
+                for wave in (self._drain_wave(index),)
+                if wave
+            ]
             if self._pending == 0:
                 self._wake.clear()
-            if wave:
-                await self._execute_wave(wave)
+            if waves:
+                # One wave per replica per window, executed concurrently —
+                # each on its replica's own single worker thread.
+                await asyncio.gather(
+                    *(self._execute_wave(index, wave) for index, wave in waves)
+                )
                 async with self._drained:
                     self._drained.notify_all()
 
-    def _drain_wave(self) -> list[_Request]:
-        """Up to ``max_wave`` requests, round-robin across connections."""
+    def _drain_wave(self, shard_index: int) -> list[_Request]:
+        """Up to ``max_wave`` requests of one shard, round-robin across connections."""
+        shard = self._shards[shard_index]
         wave: list[_Request] = []
-        while self._ring and len(wave) < self.max_wave:
-            connection_id = self._ring.popleft()
-            queue = self._queues.get(connection_id)
+        while shard.ring and len(wave) < self.max_wave:
+            connection_id = shard.ring.popleft()
+            queue = shard.queues.get(connection_id)
             if not queue:
                 continue
             request = queue.popleft()
             self._pending -= 1
+            remaining = self._connection_pending.get(connection_id, 1) - 1
+            if remaining > 0:
+                self._connection_pending[connection_id] = remaining
+            else:
+                self._connection_pending.pop(connection_id, None)
             if queue:
-                self._ring.append(connection_id)
+                shard.ring.append(connection_id)
             if request.future.done():  # cancelled by a vanished client
                 continue
             wave.append(request)
         return wave
 
-    async def _execute_wave(self, wave: list[_Request]) -> None:
-        """One engine pass for the whole wave, on the worker thread."""
+    async def _execute_wave(self, shard_index: int, wave: list[_Request]) -> None:
+        """One engine pass for the whole wave, on its shard's worker thread."""
         self.stats.waves += 1
         self.stats.last_wave = len(wave)
         self.stats.wave_members += len(wave)
         self.stats.max_wave_seen = max(self.stats.max_wave_seen, len(wave))
+        self.stats.replica_waves[shard_index] += 1
+        self.stats.replica_members[shard_index] += len(wave)
         payload = [(request.prepared, request.values) for request in wave]
         loop = asyncio.get_running_loop()
         try:
-            results = await loop.run_in_executor(
-                self._executor, self._database.execute_wave, payload
-            )
+            if self._router is not None:
+                results = await loop.run_in_executor(
+                    self._router.executor(shard_index),
+                    self._router.execute_wave_on,
+                    shard_index,
+                    payload,
+                )
+            else:
+                results = await loop.run_in_executor(
+                    self._executor, self._database.execute_wave, payload
+                )
         except Exception as exc:  # noqa: BLE001 - the wave fails as one unit
             mapped = translate_exception(exc)
             for request in wave:

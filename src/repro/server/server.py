@@ -36,6 +36,7 @@ from repro.api.exceptions import (
     translate_exception,
     translating,
 )
+from repro.cluster import Router
 from repro.engine.database import Database
 from repro.engine.result import QueryResult
 from repro.server.admission import AdmissionController
@@ -98,13 +99,22 @@ class ReproServer:
         max_wave: int = 256,
         max_inflight_per_connection: int | None = None,
         overflow: str = "error",
+        replicas: int = 1,
+        router_knobs: dict[str, Any] | None = None,
     ) -> None:
         self.database = database if database is not None else Database()
+        self.router: Router | None = None
+        if replicas > 1:
+            # Scale-out mode: the seed database becomes replica 0 of a
+            # divergent fleet; waves are routed per replica by the admission
+            # layer and DDL fans out (see repro.cluster).
+            self.router = Router(self.database, replicas, **(router_knobs or {}))
+        self.engine: Any = self.router if self.router is not None else self.database
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-engine"
         )
         self.admission = AdmissionController(
-            self.database,
+            self.engine,
             executor=self._executor,
             batch_window_us=batch_window_us,
             max_inflight=max_inflight,
@@ -159,6 +169,8 @@ class ReproServer:
             await connection.shutdown()
         await self.admission.stop()
         self._executor.shutdown(wait=True)
+        if self.router is not None:
+            self.router.close()
 
     async def __aenter__(self) -> "ReproServer":
         return await self.start()
@@ -353,9 +365,10 @@ class _ClientConnection:
         params = frame.get("params")
         if params is None and frame.get("statement") is None:
             # Literal SQL: the conventional compiled fast path, still on the
-            # engine worker thread (serialized with the waves).
+            # engine worker thread (serialized with the waves; a Router
+            # forwards onto one replica's worker).
             sql = self._sql_of(frame)
-            future = self._server.engine_call(self._server.database.execute, sql)
+            future = self._server.engine_call(self._server.engine.execute, sql)
             self._push(("one", request_id, future))
             return
         prepared = await self._prepared_for(frame)
@@ -383,7 +396,9 @@ class _ClientConnection:
         if op == "admission_stats":
             admission = self._server.admission
             value: Any = {
-                **admission.stats.as_dict(admission.pending),
+                **admission.stats.as_dict(
+                    admission.pending, admission.replica_pending()
+                ),
                 "connections": len(admission.stats.connections_seen),
                 "knobs": admission.knobs(),
             }
@@ -392,8 +407,13 @@ class _ClientConnection:
         self._push(("frame", {"type": "result", "id": request_id, "value": value}))
 
     def _admin_call(self, op: str, args: dict[str, Any]) -> Any:
-        """Admin dispatch; runs on the engine worker thread."""
-        database = self._server.database
+        """Admin dispatch; runs on the engine worker thread.
+
+        ``engine`` is the database or, in scale-out mode, the Router — whose
+        DDL/load ops fan out to every replica and whose ``cache_stats``
+        merges per-replica counters (same shape plus a ``replicas`` list).
+        """
+        database = self._server.engine
         with translating():
             if op == "create_table":
                 database.create_table(args["name"], args["columns"])
@@ -423,6 +443,21 @@ class _ClientConnection:
                 return database.cache_stats()
             elif op == "explain":
                 return database.explain(args["sql"])
+            elif op == "router_stats":
+                router = self._server.router
+                if router is None:
+                    return {
+                        "replicas": 1,
+                        "routing": None,
+                        "note": "single-engine server: start with --replicas N "
+                                "to enable the router",
+                    }
+                stats = router.router_stats()
+                for replica, depth in zip(
+                    stats["replicas"], self._server.admission.replica_pending()
+                ):
+                    replica["queue_depth"] = depth
+                return stats
             else:
                 raise ProgrammingError(f"unknown admin op {op!r}")
         return None
@@ -445,10 +480,10 @@ class _ClientConnection:
                 raise ProgrammingError(f"unknown prepared statement id {statement_id}")
             return prepared
         sql = self._sql_of(frame)
-        database = self._server.database
+        engine = self._server.engine
         prepared = self._by_sql.get(sql)
-        if prepared is None or prepared.generation != database.plan_cache.generation:
-            prepared = await self._server.engine_call(database.prepare_statement, sql)
+        if prepared is None or prepared.generation != engine.plan_cache.generation:
+            prepared = await self._server.engine_call(engine.prepare_statement, sql)
             self._by_sql[sql] = prepared
         return prepared
 

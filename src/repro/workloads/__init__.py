@@ -12,6 +12,7 @@ from repro.workloads.generators import (
     WorkloadSpec,
     changing_workload,
     hotspot_workload,
+    multimodal_workload,
     make_column,
     uniform_workload,
     zipf_workload,
@@ -31,6 +32,7 @@ __all__ = [
     "changing_workload",
     "hotspot_workload",
     "make_column",
+    "multimodal_workload",
     "uniform_workload",
     "zipf_workload",
     "load_workload",

@@ -29,7 +29,7 @@ class WorkloadSpec:
     """Declarative description of a workload, used by the benchmark harness."""
 
     name: str
-    distribution: str  # "uniform" | "zipf" | "changing" | "hotspot"
+    distribution: str  # "uniform" | "zipf" | "changing" | "hotspot" | "multimodal"
     selectivity: float
     n_queries: int
     zipf_exponent: float = 1.0
@@ -56,6 +56,10 @@ class WorkloadSpec:
             )
         if self.distribution == "hotspot":
             return hotspot_workload(
+                self.n_queries, domain, self.selectivity, seed=self.seed, name=self.name
+            )
+        if self.distribution == "multimodal":
+            return multimodal_workload(
                 self.n_queries, domain, self.selectivity, seed=self.seed, name=self.name
             )
         raise ValueError(f"unknown workload distribution {self.distribution!r}")
@@ -221,6 +225,76 @@ def hotspot_workload(
             f"{hotspot_fraction:.1%} of the domain each"
         ),
         metadata={"n_hotspots": n_hotspots, "hotspot_fraction": hotspot_fraction},
+    )
+
+
+def multimodal_workload(
+    n_queries: int,
+    domain: tuple[float, float],
+    selectivity: float,
+    *,
+    n_modes: int = 4,
+    mode_fraction: float = 0.04,
+    interleave: bool = True,
+    seed: int | None = None,
+    name: str = "multimodal",
+) -> Workload:
+    """Interleaved queries over ``n_modes`` disjoint areas of the domain.
+
+    The scale-out stress pattern: the domain is divided into ``n_modes``
+    equal bands with one small query area per band (width ``mode_fraction``
+    of the domain), and consecutive queries cycle mode→mode
+    (``interleave=True``), so *no* locality survives between neighbouring
+    queries.  One adaptive engine must keep every mode's fine-grained layout
+    resident at once; N workload-clustered replicas each see only their own
+    mode.  ``interleave=False`` emits the same queries grouped by mode
+    (then it degenerates to :func:`changing_workload` with disjoint phases).
+
+    ``seed`` is explicit and flows through :class:`WorkloadSpec`, so cluster
+    partition assignments are deterministic in CI.
+    """
+    ensure_positive("n_queries", n_queries)
+    ensure_positive("n_modes", n_modes)
+    ensure_in_range("selectivity", selectivity, 0.0, 1.0)
+    ensure_in_range("mode_fraction", mode_fraction, 0.0, 1.0)
+    rng = make_rng(seed)
+    low, high = domain
+    width = _query_width(domain, selectivity)
+    band_width = (high - low) / n_modes
+    area_width = min(max((high - low) * mode_fraction, width), band_width)
+    # One query area per band, placed away from the band edges so modes
+    # stay disjoint.
+    mode_lows = np.array(
+        [
+            low + band * band_width
+            + rng.uniform(0.0, max(band_width - area_width, 1e-12))
+            for band in range(n_modes)
+        ]
+    )
+    order = (
+        np.arange(n_queries) % n_modes
+        if interleave
+        else np.repeat(np.arange(n_modes), int(np.ceil(n_queries / n_modes)))[:n_queries]
+    )
+    queries: list[RangeQuery] = []
+    for mode in order:
+        start = mode_lows[mode] + rng.uniform(0.0, max(area_width - width, 1e-12))
+        queries.append(_clip_query(start, width, domain))
+    return Workload(
+        name=name,
+        queries=queries,
+        domain=domain,
+        selectivity=selectivity,
+        description=(
+            f"{n_queries} range queries cycling over {n_modes} disjoint modes of "
+            f"{mode_fraction:.1%} of the domain each"
+        ),
+        metadata={
+            "n_modes": n_modes,
+            "mode_fraction": mode_fraction,
+            "interleave": interleave,
+            "mode_lows": [float(value) for value in mode_lows],
+        },
     )
 
 

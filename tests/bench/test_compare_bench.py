@@ -61,6 +61,26 @@ class TestCheck:
         assert len(failures) == 1
         assert "missing" in failures[0]
 
+    def test_metric_missing_from_both_warns_only(self):
+        # A first-run gate: the metric's bench has never written a baseline
+        # and did not run this time either — skip, don't fail.
+        failures, warnings = compare_bench.check(
+            report(engine_per_query_warm=100e-6),
+            report(engine_per_query_warm=110e-6),
+            [("engine_per_query_warm", 2.0), ("router_throughput_qps", 2.0)],
+        )
+        assert failures == []
+        assert len(warnings) == 1
+        assert "router_throughput_qps" in warnings[0]
+
+    def test_current_only_metric_listed_as_new_in_table(self):
+        table = compare_bench.format_table(
+            report(engine_per_query_warm=100e-6),
+            report(unit="qps", engine_per_query_warm=100e-6, router_throughput_qps=5e4),
+        )
+        assert "router_throughput_qps" in table
+        assert "(new)" in table
+
     def test_throughput_units_invert_the_direction(self):
         # qps is higher-is-better: dropping to 40% of the baseline is a 2.5x
         # regression even though current/baseline would read as 0.4.

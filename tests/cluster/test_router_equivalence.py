@@ -1,0 +1,170 @@
+"""Property: routed execution across N diverged replicas == serial execution.
+
+The router may send any query to any replica, each replica's adaptive layout
+diverges from every other's (different segment boundaries, different
+replica trees), waves regroup queries arbitrarily — and none of it may ever
+change an answer.  Every query routed through a divergently-adapted fleet
+must be permutation-equal to the same query run serially, one at a time, on
+a fresh single engine built from the same data, with adaptation enabled on
+both sides.
+
+Also pins the Fig 5–7 accounting fixture by content hash: the scale-out
+subsystem must not perturb the simulation baselines it rides above.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Router
+from repro.engine.database import Database
+from repro.util.units import KB
+
+SQL = "SELECT objid FROM p WHERE ra BETWEEN ? AND ?"
+N_ROWS = 1_500
+DOMAIN_HIGH = 360.0
+
+seeds = st.integers(min_value=0, max_value=2**16)
+replica_counts = st.integers(min_value=2, max_value=4)
+query_counts = st.integers(min_value=4, max_value=24)
+strategies = st.sampled_from(["segmentation", "replication"])
+
+
+def build_database(seed: int, strategy: str) -> Database:
+    rng = np.random.default_rng(seed)
+    database = Database()
+    database.create_table("p", {"objid": "int64", "ra": "float64"})
+    database.bulk_load(
+        "p",
+        {
+            "objid": np.arange(N_ROWS, dtype=np.int64),
+            "ra": rng.uniform(0.0, DOMAIN_HIGH, size=N_ROWS),
+        },
+    )
+    options = {"storage_budget": 64 * KB} if strategy == "replication" else {}
+    database.enable_adaptive(
+        "p", "ra", strategy=strategy, model="apm", m_min=1 * KB, m_max=4 * KB,
+        **options,
+    )
+    return database
+
+
+def make_queries(n: int, seed: int) -> list[tuple[float, float]]:
+    """Wide, narrow, empty, duplicate and multi-modal ranges."""
+    rng = np.random.default_rng(seed)
+    queries: list[tuple[float, float]] = []
+    for _ in range(n):
+        kind = rng.integers(0, 5)
+        low = float(rng.uniform(0.0, DOMAIN_HIGH))
+        if kind == 0:  # wide
+            queries.append((low, float(low + rng.uniform(0.0, DOMAIN_HIGH / 2))))
+        elif kind == 1:  # narrow
+            queries.append((low, float(low + rng.uniform(0.0, 2.0))))
+        elif kind == 2:  # empty
+            queries.append((low, low))
+        elif kind == 3 and queries:  # duplicate an earlier range
+            queries.append(queries[rng.integers(0, len(queries))])
+        else:  # mode-confined (what the clustering feeds on)
+            mode = float(rng.integers(0, 4)) * DOMAIN_HIGH / 4
+            start = mode + float(rng.uniform(0.0, 5.0))
+            queries.append((start, start + float(rng.uniform(0.1, 3.0))))
+    return queries
+
+
+def routed_answers(
+    seed: int, n_replicas: int, strategy: str, queries: list[tuple[float, float]]
+) -> list[list[int]]:
+    """Answers through a retuning router, waves regrouped per replica."""
+    database = build_database(seed, strategy)
+    with Router(database, n_replicas, seed=0) as router:
+        prepared = router.prepare_statement(SQL)
+        answers: list[list[int]] = []
+        half = len(queries) // 2
+        for index, query in enumerate(queries):
+            if index == half:
+                # Mid-stream retune: layouts diverge while queries keep
+                # flowing; answers must not notice.
+                router.retune(sample_per_cluster=8, max_iterations=2)
+            result = router.execute_prepared(prepared, query)
+            answers.append(sorted(result.columns.get("objid", np.array([])).tolist()))
+        return answers
+
+
+def serial_answers(
+    seed: int, strategy: str, queries: list[tuple[float, float]]
+) -> list[list[int]]:
+    """The same queries, one at a time, on a fresh identical single engine."""
+    database = build_database(seed, strategy)
+    prepared = database.prepare_statement(SQL)
+    answers: list[list[int]] = []
+    for low, high in queries:
+        result = database.execute_prepared(prepared, (low, high))
+        answers.append(sorted(np.asarray(result.columns["objid"]).tolist()))
+    return answers
+
+
+@given(
+    seed=seeds, n_replicas=replica_counts, n_queries=query_counts, strategy=strategies
+)
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_routed_execution_equals_serial_execution(
+    seed, n_replicas, n_queries, strategy
+):
+    queries = make_queries(n_queries, seed + 1)
+    got = routed_answers(seed, n_replicas, strategy, queries)
+    expected = serial_answers(seed, strategy, queries)
+    assert got == expected
+
+
+def test_divergent_replicas_still_agree():
+    """Deliberately diverge the fleet hard, then ask every replica directly."""
+    database = build_database(99, "segmentation")
+    with Router(database, 3, seed=0) as router:
+        prepared = router.prepare_statement(SQL)
+        # Specialize each replica on its own mode by replaying directly.
+        for index, replica in enumerate(router.replicas):
+            low = index * 120.0 + 5.0
+            for _ in range(25):
+                replica.run(
+                    router.execute_wave_on,
+                    index,
+                    [(prepared, (low, low + 1.0))],
+                )
+        segment_counts = {
+            replica.database.adaptive_handle("p", "ra").adaptive.describe()[
+                "segment_count"
+            ]
+            for replica in router.replicas
+        }
+        assert len(segment_counts) > 1  # layouts genuinely diverged
+        for low, high in [(10.0, 50.0), (100.0, 250.0), (0.0, 360.0)]:
+            wave = [(prepared, (low, high))]
+            answers = {
+                tuple(
+                    sorted(
+                        replica.run(router.execute_wave_on, replica.index, wave)[0]
+                        .columns["objid"]
+                        .tolist()
+                    )
+                )
+                for replica in router.replicas
+            }
+            assert len(answers) == 1  # every layout gives the same answer
+
+
+def test_fig5_7_fixture_is_untouched():
+    """The committed Fig 5–7 accounting fixture must survive this subsystem."""
+    fixture = (
+        Path(__file__).resolve().parent.parent / "data" / "fig5_7_accounting_fixture.json"
+    )
+    digest = hashlib.sha256(fixture.read_bytes()).hexdigest()
+    assert digest == "9989a99ee8f25d5c5e7017f208316d705b5df4c9889cedf8f1c16cb61ec8c91b"

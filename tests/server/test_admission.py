@@ -320,5 +320,6 @@ class TestStats:
             "max_wave": 8,
             "max_inflight_per_connection": 4,
             "overflow": "wait",
+            "replicas": 1,
         }
         executor.shutdown(wait=True)
