@@ -29,6 +29,10 @@ Metrics merged into ``BENCH_segment_kernels.json``:
 * ``router_single_replica_qps`` — the same path at N=1 (the 1x yardstick)
 * ``router_scaling_x``        — N=4 over N=1 (bar: >= 2x at reference scale)
 * ``router_retune_cost_drop_x`` — modeled scan bytes before/after retune
+* ``degraded_throughput_qps`` — N=4 with one replica quarantined (failover
+  re-routes its clusters to the best surviving sibling; CI gates this at
+  >= 50% of ``router_throughput_qps`` via ``compare_bench.py
+  --min-fraction``)
 
 Scales with the environment (CI runs reduced)::
 
@@ -132,8 +136,13 @@ def measure_fleet(
     total_queries: int,
     chunk: int,
     repeat: int,
-) -> tuple[float, dict | None]:
-    """Best routed qps at this fleet size (plus the retune report for N>1)."""
+    degrade: bool = False,
+) -> tuple[float, dict | None, float | None]:
+    """Best routed qps at this fleet size (plus the retune report for N>1).
+
+    With ``degrade=True`` the fleet is re-measured after quarantining one
+    replica (the degraded-mode throughput the CI min-fraction gate rides on).
+    """
     router = build_router(n_replicas, n_rows=n_rows, slack_kb=slack_kb)
     retune_report = None
     try:
@@ -151,7 +160,22 @@ def measure_fleet(
             started = time.perf_counter()
             run_routed(router, prepared, bounds, chunk=chunk)
             best_wall = min(best_wall, time.perf_counter() - started)
-        return total_queries / best_wall, retune_report
+        degraded_qps = None
+        if degrade and n_replicas > 1:
+            # Graceful degradation: quarantine one replica (the failure
+            # detector's public transition — its clusters fail over to the
+            # best surviving sibling) and re-measure the same workload on
+            # the N-1 survivors.
+            assert router.quarantine_replica(n_replicas - 1)
+            run_routed(router, prepared, workload_bounds(256, seed=8), chunk=chunk)
+            degraded_wall = float("inf")
+            for sweep in range(repeat):
+                bounds = workload_bounds(total_queries, seed=9 + sweep)
+                started = time.perf_counter()
+                run_routed(router, prepared, bounds, chunk=chunk)
+                degraded_wall = min(degraded_wall, time.perf_counter() - started)
+            degraded_qps = total_queries / degraded_wall
+        return total_queries / best_wall, retune_report, degraded_qps
     finally:
         router.close()
 
@@ -171,16 +195,24 @@ def run_bench() -> PerfSuite:
 
     qps = {}
     retune_report = None
+    degraded_qps = None
     for n_replicas in (1, 2, 4):
-        qps[n_replicas], report = measure_fleet(
+        qps[n_replicas], report, degraded = measure_fleet(
             n_replicas, n_rows=n_rows, slack_kb=slack_kb,
             total_queries=total_queries, chunk=chunk, repeat=repeat,
+            degrade=n_replicas == 4,
         )
         if n_replicas == 4:
             retune_report = report
+            degraded_qps = degraded
         print(
             f"  N={n_replicas}: {qps[n_replicas]:,.0f} qps"
             + (f"  ({qps[n_replicas] / qps[1]:.2f}x)" if n_replicas > 1 else "")
+        )
+    if degraded_qps is not None:
+        print(
+            f"  N=4 degraded (1 quarantined): {degraded_qps:,.0f} qps "
+            f"({degraded_qps / qps[4]:.2f} of full fleet)"
         )
 
     suite.derive(
@@ -203,6 +235,18 @@ def run_bench() -> PerfSuite:
              "divergent specialization, not parallelism (bar: >= 2x at the "
              "reference scale)",
     )
+    if degraded_qps is not None:
+        suite.derive(
+            "degraded_throughput_qps", degraded_qps, unit="qps", **common,
+            note="routed waves at N=4 with one replica quarantined: failover "
+                 "re-routes its clusters to the surviving siblings (gate: "
+                 ">= 50% of router_throughput_qps)",
+        )
+        suite.derive(
+            "degraded_retention_x", degraded_qps / qps[4], unit="x", **common,
+            note="degraded over full-fleet throughput, co-measured (the "
+                 "graceful-degradation floor)",
+        )
     if retune_report and retune_report.get("initial_cost_bytes"):
         suite.derive(
             "router_retune_cost_drop_x",
@@ -239,6 +283,12 @@ def main() -> int:
         assert drop > 1.0, (
             f"Router.retune() did not lower the modeled fleet cost "
             f"({drop:.2f}x)"
+        )
+        retention = suite["degraded_retention_x"].value
+        # Co-measured like the scaling ratio: no machine factor needed.
+        assert retention >= 0.5, (
+            f"a 3-of-4 degraded fleet retains only {retention:.2f} of full "
+            f"throughput (bar: >= 0.5)"
         )
         print(
             f"[PERF_ASSERT ok: N=4 {suite['router_throughput_qps'].value:,.0f} qps "

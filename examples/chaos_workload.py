@@ -1,0 +1,158 @@
+"""Chaos smoke: a client stream against a fault-injected replica fleet.
+
+Points a resilient async client at an already-running multi-replica server
+(boot one with the deterministic fault injector armed)::
+
+    PYTHONPATH=src python -m repro.server --port 7744 --replicas 3 \
+        --demo-rows 20000 --quarantine-after 1 --max-retries 3 \
+        --max-wave 16 \
+        --fault-spec '{"seed": 7, "faults": [
+            {"site": "wave.execute", "at": 1, "action": "crash",
+             "match": {"replica": 1}},
+            {"site": "wave.execute", "at": 2, "action": "crash",
+             "match": {"replica": 2}}]}' &
+    PYTHONPATH=src timeout 120 python examples/chaos_workload.py --port 7744
+
+The workload fires bound range selects through the crash window, verifies
+every completed answer against a client-side recomputation of the demo
+table, then polls ``router_stats`` until the fleet converges back to full
+health.  Exit 0 requires: zero wrong answers, failover counters that show
+the injected crashes actually exercised quarantine + rebuild, and every
+replica healthy again.  CI runs this as the ``chaos-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import repro.aio  # noqa: E402
+from repro.api.exceptions import OperationalError  # noqa: E402
+
+SQL = "SELECT v FROM demo WHERE v BETWEEN ? AND ?"
+#: ``python -m repro.server --demo-rows N`` loads uniform values seeded with 7.
+DEMO_SEED = 7
+
+
+async def wait_for_server(host: str, port: int, deadline_s: float) -> None:
+    """Poll until the server accepts connections (it boots in parallel)."""
+    deadline = time.perf_counter() + deadline_s
+    while True:
+        try:
+            connection = await repro.aio.connect(host, port)
+        except OSError:
+            if time.perf_counter() > deadline:
+                raise
+            await asyncio.sleep(0.2)
+        else:
+            await connection.close()
+            return
+
+
+async def run_workload(args: argparse.Namespace) -> int:
+    await wait_for_server(args.host, args.port, args.boot_timeout)
+    connection = await repro.aio.connect(
+        args.host,
+        args.port,
+        request_timeout=10.0,
+        reconnect=True,
+        retry_reads=True,
+    )
+    demo_rows = (await connection.admin.router_stats())["replicas"]
+    del demo_rows  # the call doubles as a handshake sanity check
+
+    # The demo table the server preloaded: recompute it client-side so every
+    # completed answer can be checked for *correctness*, not just arrival.
+    values = np.random.default_rng(DEMO_SEED).random(args.demo_rows)
+
+    rng = np.random.default_rng(23)
+    queries = []
+    for _ in range(args.queries):
+        low = float(rng.uniform(0.0, 0.9))
+        queries.append((low, low + float(rng.uniform(0.01, 0.08))))
+
+    async def one(low: float, high: float):
+        cursor = await connection.execute(SQL, (low, high))
+        return cursor.rowcount
+
+    outcomes = await asyncio.gather(
+        *(one(low, high) for low, high in queries), return_exceptions=True
+    )
+
+    completed = wrong = failed = 0
+    for (low, high), outcome in zip(queries, outcomes):
+        if isinstance(outcome, BaseException):
+            if not isinstance(outcome, OperationalError):
+                print(f"FATAL: non-operational failure: {outcome!r}")
+                return 1
+            failed += 1
+            continue
+        completed += 1
+        expected = int(np.count_nonzero((values >= low) & (values <= high)))
+        if outcome != expected:
+            wrong += 1
+            print(f"WRONG ANSWER: [{low:.4f}, {high:.4f}] -> {outcome}, "
+                  f"expected {expected}")
+
+    # Convergence: the failure detector quarantined crashed replicas, the
+    # admission layer kicked off rebuilds, the fleet must return to health.
+    deadline = time.perf_counter() + args.heal_timeout
+    stats = await connection.admin.router_stats()
+    while time.perf_counter() < deadline:
+        health = stats.get("health", {})
+        if health and all(state == "healthy" for state in health["states"]):
+            break
+        await asyncio.sleep(0.2)
+        stats = await connection.admin.router_stats()
+    await connection.close()
+
+    health = stats.get("health", {})
+    print(
+        f"chaos workload: {completed}/{len(queries)} completed, "
+        f"{failed} transient-failed, {wrong} wrong; health={health}"
+    )
+    if wrong:
+        return 1
+    if completed < len(queries) * 0.9:
+        print(f"FATAL: only {completed}/{len(queries)} answers completed")
+        return 1
+    if not health:
+        print("FATAL: router_stats has no health block (is --replicas > 1?)")
+        return 1
+    if health["quarantines"] < 1 or health["rebuilds"] < 1:
+        print("FATAL: the injected crashes never exercised failover "
+              f"(quarantines={health.get('quarantines')}, "
+              f"rebuilds={health.get('rebuilds')})")
+        return 1
+    if not all(state == "healthy" for state in health["states"]):
+        print(f"FATAL: fleet did not converge back to health: "
+              f"{health['states']}")
+        return 1
+    print("chaos smoke ok: crashed, failed over, rebuilt, healed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7744)
+    parser.add_argument("--queries", type=int,
+                        default=int(os.environ.get("CHAOS_QUERIES", "96")))
+    parser.add_argument("--demo-rows", type=int,
+                        default=int(os.environ.get("CHAOS_DEMO_ROWS", "20000")),
+                        help="must match the server's --demo-rows")
+    parser.add_argument("--boot-timeout", type=float, default=30.0)
+    parser.add_argument("--heal-timeout", type=float, default=30.0)
+    args = parser.parse_args()
+    return asyncio.run(run_workload(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

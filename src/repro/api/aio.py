@@ -19,6 +19,27 @@ connection and keep queries in flight concurrently::
 
 Fetching stays synchronous (the rows are already client-side once ``execute``
 returns), matching the blocking cursor's fetch surface exactly.
+
+Resilience (all opt-in, off by default so failures stay loud):
+
+``request_timeout``
+    Per-request deadline.  A timed-out request raises
+    :class:`~repro.api.exceptions.TransientError`; its late response, if one
+    ever arrives, is discarded by the correlation map — never delivered to
+    the wrong caller.
+``reconnect=True``
+    A dropped socket no longer bricks the connection: the next request
+    redials with exponential backoff (``reconnect_attempts`` ×
+    ``reconnect_backoff_s``) and re-runs the HELLO handshake.  Server-side
+    prepared-statement ids die with the old connection, so
+    :class:`AsyncPreparedStatement` handles raise ``ProgrammingError`` after
+    a reconnect — re-``prepare`` them.
+``retry_reads=True``
+    Text-bearing ``execute``/``executemany`` frames that failed with a
+    :class:`~repro.api.exceptions.TransientError` (drop, timeout, failover
+    in progress) are retried after reconnecting.  Bound range selects are
+    idempotent above adaptation, which is what makes this safe; statement-id
+    frames are **never** retried (the id does not survive the reconnect).
 """
 
 from __future__ import annotations
@@ -33,6 +54,7 @@ from repro.api.exceptions import (
     InterfaceError,
     NotSupportedError,
     OperationalError,
+    TransientError,
     error_from_name,
 )
 from repro.server.protocol import PROTOCOL_VERSION, read_frame, write_frame
@@ -428,51 +450,89 @@ class AsyncConnection:
     """One pipelined client connection to a :class:`~repro.server.ReproServer`."""
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+        request_timeout: float | None = None,
+        reconnect: bool = False,
+        reconnect_attempts: int = 3,
+        reconnect_backoff_s: float = 0.05,
+        retry_reads: bool = False,
+        retry_attempts: int = 2,
+        injector: Any | None = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
+        self._host = host
+        self._port = port
+        self.request_timeout = request_timeout
+        self._reconnect_enabled = bool(reconnect)
+        self.reconnect_attempts = int(reconnect_attempts)
+        self.reconnect_backoff_s = float(reconnect_backoff_s)
+        self._retry_reads = bool(retry_reads)
+        self.retry_attempts = int(retry_attempts)
+        self._injector = injector
         self._ids = itertools.count(1)
         self._pending: dict[int, asyncio.Future] = {}
         self._receive_task: asyncio.Task | None = None
         self._closed = False
+        self._user_closed = False
+        self._reconnect_lock = asyncio.Lock()
+        #: Successful redials / retried requests (observability for tests).
+        self.reconnects = 0
+        self.retries = 0
         self._admin = AsyncAdmin(self)
         self.server_info: dict[str, Any] = {}
 
     @classmethod
-    async def _open(cls, host: str, port: int) -> "AsyncConnection":
+    async def _open(cls, host: str, port: int, **knobs: Any) -> "AsyncConnection":
         reader, writer = await asyncio.open_connection(host, port)
-        connection = cls(reader, writer)
+        connection = cls(reader, writer, host=host, port=port, **knobs)
         connection._receive_task = asyncio.get_running_loop().create_task(
             connection._receive(), name="repro-aio-receive"
         )
         try:
-            reply = await connection._request(
-                {"type": "hello", "protocol": PROTOCOL_VERSION, "client": "repro.aio"}
-            )
+            await connection._handshake()
         except BaseException:
             await connection._teardown()
             raise
-        connection.server_info = {
+        return connection
+
+    async def _handshake(self) -> None:
+        reply = await self._request_once(
+            {"type": "hello", "protocol": PROTOCOL_VERSION, "client": "repro.aio"}
+        )
+        self.server_info = {
             key: reply.get(key) for key in ("server", "version", "protocol", "knobs")
         }
-        return connection
 
     # -- lifecycle ------------------------------------------------------------
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        """Closed *for use*: explicitly closed by the user, or transport-dead
+        with no way back (``reconnect=False``).  A reconnect-enabled
+        connection whose socket dropped is degraded, not closed — the next
+        request redials."""
+        if self._user_closed:
+            return True
+        return self._closed and not self._reconnect_enabled
 
     async def close(self) -> None:
         """Orderly shutdown: flush outstanding responses, then drop the socket."""
-        if self._closed:
+        if self._user_closed:
             return
+        self._user_closed = True
+        already_dead = self._closed
         self._closed = True
-        try:
-            await self._request({"type": "close"}, during_close=True)
-        except Exception:
-            pass  # the server vanished first; tear down locally regardless
+        if not already_dead:
+            try:
+                await self._request_once({"type": "close"}, during_close=True)
+            except Exception:
+                pass  # the server vanished first; tear down locally regardless
         await self._teardown()
 
     async def _teardown(self) -> None:
@@ -498,7 +558,9 @@ class AsyncConnection:
         await self.close()
 
     def _check_open(self) -> None:
-        if self._closed:
+        if self._user_closed:
+            raise InterfaceError("connection is closed")
+        if self._closed and not self._reconnect_enabled:
             raise InterfaceError("connection is closed")
 
     # -- statement surfaces ---------------------------------------------------
@@ -551,23 +613,133 @@ class AsyncConnection:
     async def _request(
         self, frame: dict[str, Any], *, during_close: bool = False
     ) -> dict[str, Any]:
-        """Send one frame and await its correlated response frame.
+        """Send one frame and await its correlated response; retry if allowed.
 
         ERROR frames become raised PEP 249 exceptions (rebuilt by wire name),
         so every caller sees the same exception types the in-process facade
-        raises.
+        raises.  On a :class:`TransientError` — dropped socket, request
+        timeout, server-side failover exhaustion — the request reconnects
+        (when ``reconnect=True``) and, for idempotent text-bearing reads
+        under ``retry_reads=True``, is re-sent with exponential backoff.
         """
+        if during_close:
+            return await self._request_once(frame, during_close=True)
+        if self._user_closed:
+            raise InterfaceError("connection is closed")
+        attempt = 0
+        while True:
+            if self._closed:
+                if not self._reconnect_enabled:
+                    raise InterfaceError("connection is closed")
+                await self._ensure_connected()
+            try:
+                return await self._request_once(frame)
+            except TransientError:
+                if not self._may_retry(frame, attempt):
+                    raise
+            attempt += 1
+            self.retries += 1
+            await asyncio.sleep(self.reconnect_backoff_s * 2 ** (attempt - 1))
+
+    def _may_retry(self, frame: dict[str, Any], attempt: int) -> bool:
+        """Is this frame safe (and allowed) to re-send after a transient failure?
+
+        Only text-bearing ``execute``/``executemany`` — bound selects are
+        idempotent above adaptation and re-prepare by SQL text on the server.
+        Statement-id frames never retry: the server-side id registry dies
+        with the connection, and a retried id would hit the wrong (or no)
+        statement.
+        """
+        return (
+            self._retry_reads
+            and attempt < self.retry_attempts
+            and frame.get("type") in ("execute", "executemany")
+            and isinstance(frame.get("sql"), str)
+        )
+
+    async def _ensure_connected(self) -> None:
+        """Redial with exponential backoff and re-handshake (reconnect mode)."""
+        async with self._reconnect_lock:
+            if not self._closed:
+                return  # another request already reconnected
+            if self._host is None or self._port is None:
+                raise TransientError(
+                    "connection lost and no address to reconnect to"
+                )
+            backoff = self.reconnect_backoff_s
+            last: BaseException | None = None
+            for _ in range(max(self.reconnect_attempts, 1)):
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        self._host, self._port
+                    )
+                except OSError as exc:
+                    last = exc
+                    await asyncio.sleep(backoff)
+                    backoff *= 2
+                    continue
+                if self._receive_task is not None and not self._receive_task.done():
+                    self._receive_task.cancel()
+                old_writer = self._writer
+                self._reader, self._writer = reader, writer
+                self._closed = False
+                self._receive_task = asyncio.get_running_loop().create_task(
+                    self._receive(), name="repro-aio-receive"
+                )
+                old_writer.close()
+                try:
+                    await self._handshake()
+                except BaseException as exc:  # noqa: BLE001 - try the next dial
+                    last = exc
+                    self._closed = True
+                    await asyncio.sleep(backoff)
+                    backoff *= 2
+                    continue
+                self.reconnects += 1
+                return
+            raise TransientError(
+                f"reconnect to {self._host}:{self._port} failed after "
+                f"{self.reconnect_attempts} attempts: {last}"
+            )
+
+    async def _request_once(
+        self, frame: dict[str, Any], *, during_close: bool = False
+    ) -> dict[str, Any]:
+        """One send/await round-trip, under the per-request timeout."""
         if self._closed and not during_close:
             raise InterfaceError("connection is closed")
+        if self._injector is not None:
+            # The injected transport failure: abort the socket mid-send, the
+            # way a real network drop looks to this side of the connection.
+            if self._injector.fire("client.send", op=str(frame.get("type"))) == "drop":
+                self._abort_transport()
+                raise TransientError("injected connection drop at client.send")
         request_id = next(self._ids)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         try:
             write_frame(self._writer, {**frame, "id": request_id})
             await self._writer.drain()
-            return await future
+            if self.request_timeout is None:
+                return await future
+            try:
+                return await asyncio.wait_for(future, self.request_timeout)
+            except asyncio.TimeoutError:
+                # The pending entry is popped below, so a late response is
+                # dropped by the correlation map — never delivered stale.
+                raise TransientError(
+                    f"request {frame.get('type')!r} timed out after "
+                    f"{self.request_timeout}s"
+                ) from None
+        except (ConnectionError, OSError) as exc:
+            raise TransientError(f"connection lost: {exc}") from exc
         finally:
             self._pending.pop(request_id, None)
+
+    def _abort_transport(self) -> None:
+        transport = self._writer.transport
+        if transport is not None:
+            transport.abort()
 
     async def _receive(self) -> None:
         try:
@@ -589,11 +761,11 @@ class AsyncConnection:
         except asyncio.CancelledError:
             raise
         except Exception as exc:
-            self._fail_pending(OperationalError(f"connection lost: {exc}"))
             self._closed = True
+            self._fail_pending(TransientError(f"connection lost: {exc}"))
             return
-        self._fail_pending(OperationalError("connection closed by server"))
         self._closed = True
+        self._fail_pending(TransientError("connection closed by server"))
 
     def _fail_pending(self, exc: Exception) -> None:
         for future in list(self._pending.values()):
@@ -619,14 +791,38 @@ def _wire_data(data: dict[str, Any]) -> dict[str, list]:
 
 
 async def connect(
-    host: str = "127.0.0.1", port: int = 7733, *, connect_timeout: float | None = None
+    host: str = "127.0.0.1",
+    port: int = 7733,
+    *,
+    connect_timeout: float | None = None,
+    request_timeout: float | None = None,
+    reconnect: bool = False,
+    reconnect_attempts: int = 3,
+    reconnect_backoff_s: float = 0.05,
+    retry_reads: bool = False,
+    retry_attempts: int = 2,
+    injector: Any | None = None,
 ) -> AsyncConnection:
     """Open an async connection to a running repro server.
 
     The coroutine completes after the HELLO handshake; the server's version
-    and admission knobs are available as ``connection.server_info``.
+    and admission knobs are available as ``connection.server_info``.  See the
+    module docstring for the resilience knobs (``request_timeout``,
+    ``reconnect``, ``retry_reads``); ``injector`` arms a
+    :class:`~repro.fault.FaultInjector` on the ``client.send`` site for
+    deterministic chaos tests.
     """
-    opening = AsyncConnection._open(host, port)
+    opening = AsyncConnection._open(
+        host,
+        port,
+        request_timeout=request_timeout,
+        reconnect=reconnect,
+        reconnect_attempts=reconnect_attempts,
+        reconnect_backoff_s=reconnect_backoff_s,
+        retry_reads=retry_reads,
+        retry_attempts=retry_attempts,
+        injector=injector,
+    )
     if connect_timeout is not None:
         return await asyncio.wait_for(opening, connect_timeout)
     return await opening

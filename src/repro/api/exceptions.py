@@ -30,6 +30,7 @@ __all__ = [
     "DatabaseError",
     "DataError",
     "OperationalError",
+    "TransientError",
     "IntegrityError",
     "InternalError",
     "ProgrammingError",
@@ -63,6 +64,21 @@ class DataError(DatabaseError):
 
 class OperationalError(DatabaseError):
     """Errors in the database's operation, not the programmer's control."""
+
+
+class TransientError(OperationalError):
+    """An operational failure that may not recur — safe to retry.
+
+    Raised when a request died with the *infrastructure* rather than the
+    query: a replica crashed or timed out mid-wave, a failover was in
+    progress, a connection dropped.  Bound range selects are side-effect-free
+    above adaptation, so replaying one against the (failed-over or
+    reconnected) service returns the same answer — the server's admission
+    layer retries them automatically and :mod:`repro.aio` can be opted in to
+    do the same (``retry_reads=True``).  Terminal failures — bad SQL, unknown
+    tables, binding violations — keep raising :class:`ProgrammingError` /
+    plain :class:`OperationalError` and are never retried.
+    """
 
 
 class IntegrityError(DatabaseError):
@@ -142,6 +158,7 @@ _ERRORS_BY_NAME: dict[str, type[Exception]] = {
         DatabaseError,
         DataError,
         OperationalError,
+        TransientError,
         IntegrityError,
         InternalError,
         ProgrammingError,

@@ -7,9 +7,20 @@ query shapes by range similarity; ``Router.retune()`` iterates Hang 2024's
 partition→tune→re-cost loop until total modeled cost stops dropping, so the
 replicas' adaptive layouts *diverge on purpose* — each serves the slice of
 the workload it is organized for.
+
+The router doubles as the fleet's failure detector: each replica carries a
+``ReplicaHealth`` state machine (healthy → suspect → quarantined →
+rebuilding → healthy), quarantining fails a replica's workload clusters over
+to the cheapest surviving sibling, and ``Router.rebuild_replica`` restores
+it from a healthy donor via ``clone_database`` before re-admission.
 """
 
-from repro.cluster.replica import EngineReplica, clone_database
+from repro.cluster.replica import (
+    EngineReplica,
+    ReplicaHealth,
+    ReplicaWorker,
+    clone_database,
+)
 from repro.cluster.router import Router, what_if_bytes
 from repro.cluster.stats import merge_cache_stats
 from repro.cluster.workload_clustering import (
@@ -21,6 +32,8 @@ from repro.cluster.workload_clustering import (
 
 __all__ = [
     "EngineReplica",
+    "ReplicaHealth",
+    "ReplicaWorker",
     "Router",
     "WorkloadClustering",
     "clone_database",

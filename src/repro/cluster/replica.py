@@ -4,21 +4,54 @@ The paper's adaptation is deliberately single-threaded — a selection may
 reorganize the column it scans — and PR 6 preserved that invariant by
 funnelling every wave through one engine worker.  Scale-out keeps the same
 contract per replica: each :class:`EngineReplica` owns a fresh ``Database``
-clone and a one-thread executor, so all execution *and* adaptation for that
-replica happen on its own worker.  Replicas never share mutable state;
-divergence between their adaptive layouts is the whole point.
+clone and a one-thread :class:`ReplicaWorker`, so all execution *and*
+adaptation for that replica happen on its own worker.  Replicas never share
+mutable state; divergence between their adaptive layouts is the whole point.
+
+Fault tolerance adds two things here.  First, every replica carries a
+health state (:class:`ReplicaHealth`) driven by the router's failure
+detector::
+
+    healthy ──failure──> suspect ──more failures / deadline timeout──> quarantined
+       ^                    │                                              │
+       └────success─────────┘                  rebuilding <──rebuild───────┘
+       └──────────────rebuild completes────────────┘
+
+Second, the worker is a plain daemon thread with a **hard-timeout join**
+(:meth:`ReplicaWorker.close`): a wedged replica — stuck in an injected hang
+or a pathological kernel — can be abandoned without hanging interpreter
+shutdown, and a quarantined replica is rebuilt by swapping in a fresh clone
+*and* a fresh worker (:meth:`EngineReplica.replace_database`) rather than
+waiting on the wedged one.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import Future, ThreadPoolExecutor
+import enum
+import queue
+import threading
+from concurrent.futures import Future
 from typing import Any, Callable
 
 import numpy as np
 
 from repro.engine.database import Database
 
-__all__ = ["EngineReplica", "clone_database"]
+__all__ = ["EngineReplica", "ReplicaHealth", "ReplicaWorker", "clone_database"]
+
+
+class ReplicaHealth(enum.Enum):
+    """The health state machine of one replica (transitions owned by the Router)."""
+
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    QUARANTINED = "quarantined"
+    REBUILDING = "rebuilding"
+
+    @property
+    def routable(self) -> bool:
+        """May the router still send this replica traffic?"""
+        return self in (ReplicaHealth.HEALTHY, ReplicaHealth.SUSPECT)
 
 
 def clone_database(source: Database) -> Database:
@@ -59,6 +92,84 @@ def clone_database(source: Database) -> Database:
     return clone
 
 
+class ReplicaWorker:
+    """A single daemon worker thread with ``Executor.submit`` semantics.
+
+    The deliberate differences from ``ThreadPoolExecutor(max_workers=1)``:
+
+    * the thread is a **daemon**, so a wedged task can never block
+      interpreter shutdown (CPython joins non-daemon executor threads at
+      exit — exactly the hang this class exists to avoid);
+    * :meth:`close` joins with a **hard timeout** and reports whether the
+      worker exited cleanly; a worker that missed the deadline is flagged
+      :attr:`wedged` and simply abandoned.
+
+    ``submit`` returns a :class:`concurrent.futures.Future`, which is all
+    ``asyncio``'s ``run_in_executor`` needs — the admission layer treats a
+    worker exactly like an executor.
+    """
+
+    _SENTINEL = object()
+
+    def __init__(self, index: int) -> None:
+        self.index = int(index)
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._closed = False
+        self.wedged = False
+        self._thread = threading.Thread(
+            target=self._loop,
+            name=f"repro-replica-{index}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> Future:
+        """Schedule ``fn(*args)`` on the worker thread."""
+        if self._closed:
+            raise RuntimeError(f"replica worker {self.index} is closed")
+        future: Future = Future()
+        self._queue.put((future, fn, args))
+        return future
+
+    def _loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is self._SENTINEL:
+                return
+            future, fn, args = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(fn(*args))
+            except BaseException as exc:  # noqa: BLE001 - delivered via the future
+                future.set_exception(exc)
+
+    def close(self, timeout: float = 5.0) -> bool:
+        """Stop the worker; join with a hard timeout.  Idempotent.
+
+        Returns ``True`` when the thread exited within ``timeout`` seconds.
+        A ``False`` return means the worker is wedged mid-task: it is
+        abandoned (daemon threads die with the interpreter) and every future
+        still queued behind the wedge is failed by the interpreter exit, not
+        by us — callers must not resubmit to a closed worker.
+        """
+        if self._closed:
+            return not self.wedged
+        self._closed = True
+        self._queue.put(self._SENTINEL)
+        self._thread.join(timeout)
+        self.wedged = self._thread.is_alive()
+        return not self.wedged
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+
 class EngineReplica:
     """A database clone plus the single worker thread that owns it.
 
@@ -66,35 +177,69 @@ class EngineReplica:
     (async, returns a future) or :meth:`run` (blocks) so they serialize on
     the replica's own thread.  ``queries_served`` / ``busy_seconds`` are only
     ever written from that thread; readers treat them as advisory.
+
+    Health fields live here; *transitions* are owned by the
+    :class:`~repro.cluster.Router`'s failure detector, which is the only
+    component with the fleet-wide view failover needs.
     """
 
     def __init__(self, index: int, database: Database) -> None:
         self.index = int(index)
         self.database = database
-        self.executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix=f"repro-replica-{index}"
-        )
+        self.worker = ReplicaWorker(index)
         self.queries_served = 0
         self.waves_served = 0
         self.busy_seconds = 0.0
+        self.health = ReplicaHealth.HEALTHY
+        self.consecutive_failures = 0
+        self.failures = 0
+        self.rebuilds = 0
+        self.last_error: str | None = None
         self._closed = False
+
+    @property
+    def executor(self) -> ReplicaWorker:
+        """The worker, quacking like an executor (``run_in_executor`` target)."""
+        return self.worker
 
     def submit(self, fn: Callable[..., Any], *args: Any) -> Future:
         """Schedule ``fn(*args)`` on the replica's worker thread."""
-        return self.executor.submit(fn, *args)
+        return self.worker.submit(fn, *args)
 
     def run(self, fn: Callable[..., Any], *args: Any) -> Any:
         """Run ``fn(*args)`` on the replica's worker thread and wait."""
         return self.submit(fn, *args).result()
 
-    def close(self) -> None:
-        """Shut down the worker thread (idempotent)."""
+    def replace_database(self, database: Database, *, close_timeout: float = 0.2) -> None:
+        """Swap in a rebuilt engine on a **fresh** worker (the rebuild path).
+
+        The old worker may be wedged — that is usually why we are here — so
+        it gets a token-timeout close and is otherwise abandoned; the new
+        worker starts with an empty queue, and the replica's failure
+        bookkeeping resets.  The caller (the router) owns the health
+        transition back to ``HEALTHY``.
+        """
+        self.worker.close(timeout=close_timeout)
+        self.database = database
+        self.worker = ReplicaWorker(self.index)
+        self.consecutive_failures = 0
+        self.last_error = None
+        self.rebuilds += 1
+
+    def close(self, timeout: float = 5.0) -> bool:
+        """Shut down the worker thread (idempotent, hard-timeout join)."""
         if not self._closed:
             self._closed = True
-            self.executor.shutdown(wait=True)
+            return self.worker.close(timeout=timeout)
+        return not self.worker.wedged
+
+    @property
+    def wedged(self) -> bool:
+        """Did a close miss its join deadline (worker stuck mid-task)?"""
+        return self.worker.wedged
 
     def stats(self) -> dict[str, Any]:
-        """Advisory service counters plus the divergence summary."""
+        """Advisory service counters plus health and the divergence summary."""
         qps = self.queries_served / self.busy_seconds if self.busy_seconds else 0.0
         columns: dict[str, dict[str, Any]] = {}
         for handle in self.database.bpm.handles():
@@ -111,5 +256,10 @@ class EngineReplica:
             "waves_served": self.waves_served,
             "busy_seconds": self.busy_seconds,
             "qps": qps,
+            "health": self.health.value,
+            "failures": self.failures,
+            "consecutive_failures": self.consecutive_failures,
+            "rebuilds": self.rebuilds,
+            "last_error": self.last_error,
             "columns": columns,
         }

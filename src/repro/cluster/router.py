@@ -16,12 +16,26 @@ for :class:`~repro.core.segmentation.SegmentedColumn`, Algorithm-3 cover
 bytes for :class:`~repro.core.replication.ReplicatedColumn` — the same
 quantities the paper's Fig 5–16 accounting tracks.
 
+Fault tolerance: the router is also the fleet's failure detector.  Worker
+exceptions surfacing from :meth:`execute_wave_on` and per-wave deadline
+timeouts reported by the admission layer drive each replica's health state
+machine (healthy → suspect → quarantined → rebuilding → healthy, see
+:class:`~repro.cluster.replica.ReplicaHealth`); :meth:`route` only considers
+routable replicas, quarantining a replica *fails over* its preferred
+workload clusters to the sibling with the lowest modeled cost (the EWMA
+cluster×replica cost where observed, the per-replica IO EWMA as the
+degraded-mode prior), and :meth:`rebuild_replica` restores a quarantined
+replica from a healthy sibling via :func:`clone_database` on a fresh worker
+before re-admitting it to the fleet.  The last routable replica is never
+quarantined — graceful degradation bottoms out at N=1, not N=0.
+
 Threading model: :meth:`route` runs on the caller (event-loop) thread and is
 a few microseconds; :meth:`execute_wave_on` runs **on the target replica's
 worker thread** (the admission controller submits it to
 ``Router.executor(i)``), so each replica preserves the single-threaded
 piggy-backed-adaptation invariant.  Shared routing state is guarded by one
-lock with tiny hold times.
+lock with tiny hold times; rebuilds serialize on their own lock so they
+never stall routing.
 """
 
 from __future__ import annotations
@@ -33,7 +47,12 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from repro.cluster.replica import EngineReplica, clone_database
+from repro.api.exceptions import TransientError
+from repro.cluster.replica import (
+    EngineReplica,
+    ReplicaHealth,
+    clone_database,
+)
 from repro.cluster.stats import merge_cache_stats
 from repro.cluster.workload_clustering import WorkloadClustering, cluster_workload
 from repro.core.ranges import ValueRange
@@ -73,9 +92,9 @@ class Router:
     """N database replicas behind one load-aware, self-retuning front.
 
     The router quacks like a :class:`Database` for the server's admin and
-    execution surface — DDL and data loads fan out to every replica, reads
-    are routed — so :class:`~repro.server.ReproServer` keeps a single code
-    path whether it fronts one engine or a fleet.
+    execution surface — DDL and data loads fan out to every routable replica,
+    reads are routed — so :class:`~repro.server.ReproServer` keeps a single
+    code path whether it fronts one engine or a fleet.
 
     Parameters
     ----------
@@ -95,6 +114,16 @@ class Router:
         Smoothing for the observed per-cluster×replica cost model.
     history:
         How many recent query bounds feed :meth:`retune`.
+    quarantine_after:
+        Consecutive wave failures that escalate a suspect replica to
+        quarantined (deadline timeouts quarantine immediately — the worker
+        is presumed wedged).
+    join_timeout_s:
+        Hard per-replica join deadline in :meth:`close`.
+    injector:
+        Optional :class:`~repro.fault.FaultInjector`; when armed, every wave
+        fires the ``wave.execute`` site with ``replica=<index>`` context on
+        the target replica's worker thread.
     seed:
         Clustering determinism.
     """
@@ -109,21 +138,30 @@ class Router:
         ewma_alpha: float = 0.2,
         history: int = 4096,
         share_window: int = 128,
+        quarantine_after: int = 2,
+        join_timeout_s: float = 5.0,
+        injector: Any | None = None,
         seed: int | None = 0,
     ) -> None:
         if n_replicas < 1:
             raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
         if not 0.0 < hot_query_threshold <= 1.0:
             raise ValueError("hot_query_threshold must be in (0, 1]")
+        if quarantine_after < 1:
+            raise ValueError(f"quarantine_after must be >= 1, got {quarantine_after}")
         self.hot_query_threshold = float(hot_query_threshold)
         self.ewma_alpha = float(ewma_alpha)
         self.n_clusters = int(n_clusters) if n_clusters else int(n_replicas)
+        self.quarantine_after = int(quarantine_after)
+        self.join_timeout_s = float(join_timeout_s)
+        self.injector = injector
         self.seed = seed
         self.replicas: list[EngineReplica] = [EngineReplica(0, database)]
         for index in range(1, n_replicas):
             self.replicas.append(EngineReplica(index, clone_database(database)))
 
         self._lock = threading.Lock()
+        self._rebuild_lock = threading.Lock()
         self._clustering: WorkloadClustering | None = None
         self._preferred: dict[int, int] = {}  # cluster -> best-fit replica
         self._cost: dict[int, list[float | None]] = {}  # EWMA seconds per cluster×replica
@@ -140,6 +178,16 @@ class Router:
         self._last_retune: dict[str, Any] | None = None
         self._reads_seen: list[float] = [0.0] * n_replicas
         self._io_ewma: list[float] = [0.0] * n_replicas
+        self._health = {
+            "wave_failures": 0,
+            "timeouts": 0,
+            "quarantines": 0,
+            "quarantine_vetoes": 0,
+            "failovers": 0,
+            "clusters_failed_over": 0,
+            "rebuilds": 0,
+            "rebuild_failures": 0,
+        }
         self._closed = False
 
     # -- lifecycle ------------------------------------------------------------
@@ -155,29 +203,59 @@ class Router:
 
     @property
     def plan_cache(self):
-        """Replica 0's plan cache — the fleet's canonical generation counter.
+        """The lead replica's plan cache — the fleet's canonical generation counter.
 
-        DDL fans out to every replica, so generations advance in lockstep;
-        per-replica plans are resolved lazily by SQL text at wave time.
+        DDL fans out to every routable replica, so generations advance in
+        lockstep; per-replica plans are resolved lazily by SQL text at wave
+        time.
         """
-        return self.replicas[0].database.plan_cache
+        return self._lead_replica().database.plan_cache
 
     def executor(self, index: int):
-        """The single-thread executor owning replica ``index``."""
+        """The single-thread worker owning replica ``index``."""
         return self.replicas[index].executor
 
-    def close(self) -> None:
-        """Shut down every replica worker (idempotent)."""
-        if not self._closed:
-            self._closed = True
-            for replica in self.replicas:
-                replica.close()
+    def close(self, timeout: float | None = None) -> bool:
+        """Shut down every replica worker (idempotent, hard-timeout joins).
+
+        Returns ``True`` when every worker joined within its deadline; a
+        wedged worker — stuck in an injected hang or a runaway kernel — is
+        abandoned (daemon thread) instead of hanging interpreter shutdown,
+        and the method still returns.
+        """
+        join_timeout = self.join_timeout_s if timeout is None else float(timeout)
+        if self._closed:
+            return not any(replica.wedged for replica in self.replicas)
+        self._closed = True
+        clean = True
+        for replica in self.replicas:
+            clean = replica.close(timeout=join_timeout) and clean
+        return clean
 
     def __enter__(self) -> "Router":
         return self
 
     def __exit__(self, *exc: Any) -> None:
         self.close()
+
+    def _lead_replica(self) -> EngineReplica:
+        """The first routable replica (plan-cache authority, literal executes)."""
+        for replica in self.replicas:
+            if replica.health.routable:
+                return replica
+        raise TransientError("no routable replicas (entire fleet is quarantined)")
+
+    def _routable_indices_locked(self) -> list[int]:
+        return [
+            index
+            for index, replica in enumerate(self.replicas)
+            if replica.health.routable
+        ]
+
+    def healthy_indices(self) -> list[int]:
+        """Indices the router may currently send traffic to."""
+        with self._lock:
+            return self._routable_indices_locked()
 
     # -- bounds extraction ----------------------------------------------------
 
@@ -216,34 +294,42 @@ class Router:
 
         Best-fit on the observed EWMA cost of the query's cluster; a cluster
         above the hot threshold (or anything unclustered) spreads
-        round-robin.
+        round-robin.  Only routable replicas (healthy or suspect) are
+        considered — a quarantined replica's traffic lands on its failover
+        siblings until the rebuild re-admits it.
         """
         bounds = self._bounds_of(prepared, values)
         with self._lock:
+            eligible = self._routable_indices_locked()
+            if not eligible:
+                raise TransientError(
+                    "no routable replicas (entire fleet is quarantined)"
+                )
             self._routed += 1
             clustering = self._clustering
             if bounds is not None and len(self._history) < self._history_cap:
                 self._history.append(bounds)
             if bounds is None or clustering is None:
                 self._unclustered_routes += 1
-                return next(self._rr) % len(self.replicas)
+                return eligible[next(self._rr) % len(eligible)]
             cluster = clustering.assign_one(*bounds)
             self._touch_share(cluster)
             if self._shares[cluster] > self.hot_query_threshold:
                 self._hot_routes += 1
-                return next(self._rr) % len(self.replicas)
+                return eligible[next(self._rr) % len(eligible)]
             costs = self._cost.get(cluster)
             best: tuple[float, int] | None = None
             if costs is not None:
-                for index, cost in enumerate(costs):
+                for index in eligible:
+                    cost = costs[index] if index < len(costs) else None
                     if cost is not None and (best is None or cost < best[0]):
                         best = (cost, index)
             if best is not None:
                 return best[1]
             preferred = self._preferred.get(cluster)
-            if preferred is not None:
+            if preferred is not None and preferred in eligible:
                 return preferred
-            return next(self._rr) % len(self.replicas)
+            return eligible[next(self._rr) % len(eligible)]
 
     def _touch_share(self, cluster: int) -> None:
         """EWMA traffic share per cluster (lock held)."""
@@ -254,6 +340,174 @@ class Router:
         for index in range(len(shares)):
             shares[index] *= 1.0 - beta
         shares[cluster] += beta
+
+    # -- failure detection & failover ------------------------------------------
+
+    def record_wave_success(self, index: int) -> None:
+        """A wave completed on replica ``index``: clear suspicion.
+
+        Quarantined and rebuilding replicas stay put — a *stale* wave
+        finishing late on an abandoned worker must not sneak a replica back
+        into rotation around the rebuild.
+        """
+        replica = self.replicas[index]
+        with self._lock:
+            replica.consecutive_failures = 0
+            if replica.health is ReplicaHealth.SUSPECT:
+                replica.health = ReplicaHealth.HEALTHY
+
+    def record_wave_failure(self, index: int, exc: BaseException) -> ReplicaHealth:
+        """A wave died on replica ``index``: healthy → suspect → quarantined."""
+        replica = self.replicas[index]
+        with self._lock:
+            self._health["wave_failures"] += 1
+            replica.failures += 1
+            replica.consecutive_failures += 1
+            replica.last_error = f"{type(exc).__name__}: {exc}"
+            if replica.health is ReplicaHealth.HEALTHY:
+                replica.health = ReplicaHealth.SUSPECT
+            if (
+                replica.health is ReplicaHealth.SUSPECT
+                and replica.consecutive_failures >= self.quarantine_after
+            ):
+                self._quarantine_locked(index)
+            return replica.health
+
+    def record_wave_timeout(self, index: int) -> ReplicaHealth:
+        """A wave blew its deadline on replica ``index``: quarantine immediately.
+
+        A timeout means the worker is presumed wedged — there is no point in
+        ``quarantine_after`` more chances, every one of them would queue
+        behind the wedge.
+        """
+        replica = self.replicas[index]
+        with self._lock:
+            self._health["timeouts"] += 1
+            replica.failures += 1
+            replica.consecutive_failures += 1
+            replica.last_error = "wave deadline expired (worker presumed wedged)"
+            if replica.health.routable:
+                self._quarantine_locked(index)
+            return replica.health
+
+    def quarantine_replica(self, index: int) -> bool:
+        """Take replica ``index`` out of rotation and fail over its clusters.
+
+        Public for operational tooling, benchmarks (degraded-mode
+        throughput) and tests; the failure detector calls the same internal
+        transition.  Refuses — returning ``False`` — when this is the last
+        routable replica: graceful degradation bottoms out at one replica.
+        """
+        with self._lock:
+            return self._quarantine_locked(index)
+
+    def _quarantine_locked(self, index: int) -> bool:
+        """QUARANTINE + failover (lock held).  False when vetoed (last replica)."""
+        replica = self.replicas[index]
+        if not replica.health.routable:
+            return replica.health is ReplicaHealth.QUARANTINED
+        survivors = [
+            i for i in self._routable_indices_locked() if i != index
+        ]
+        if not survivors:
+            self._health["quarantine_vetoes"] += 1
+            return False
+        replica.health = ReplicaHealth.QUARANTINED
+        self._health["quarantines"] += 1
+        self._health["failovers"] += 1
+        # Failover: every cluster that preferred this replica moves to the
+        # surviving sibling with the lowest modeled cost — the observed EWMA
+        # for that cluster where we have one, the per-replica IO EWMA (the
+        # what-if-informed bytes-per-query estimate) as the degraded prior.
+        for cluster, target in list(self._preferred.items()):
+            if target != index:
+                continue
+            self._preferred[cluster] = self._failover_target_locked(cluster, survivors)
+            self._health["clusters_failed_over"] += 1
+        return True
+
+    def _failover_target_locked(self, cluster: int, survivors: list[int]) -> int:
+        """The surviving replica with the lowest modeled cost for ``cluster``."""
+        costs = self._cost.get(cluster)
+        if costs:
+            observed = [
+                (costs[i], i)
+                for i in survivors
+                if i < len(costs) and costs[i] is not None
+            ]
+            if observed:
+                return min(observed)[1]
+        modeled = [
+            (self._io_ewma[i] if self._io_ewma[i] > 0.0 else float("inf"), i)
+            for i in survivors
+        ]
+        return min(modeled)[1]
+
+    # -- rebuild ----------------------------------------------------------------
+
+    def rebuild_replica(self, index: int, *, donor: int | None = None) -> dict[str, Any]:
+        """Restore a quarantined replica from a healthy sibling and re-admit it.
+
+        The donor's engine is cloned **on the donor's own worker thread**
+        (:func:`clone_database` serialized with its waves, so the snapshot is
+        consistent), then swapped in on a fresh worker — the quarantined
+        replica's old worker may be wedged and is abandoned.  The rebuilt
+        replica starts from the paper's initial one-segment state (plus the
+        donor's data) and re-diverges on its own traffic; its stale
+        cluster-cost EWMAs are dropped so the router re-learns it.
+
+        Rebuilds serialize on their own lock.  Returns a report dict;
+        ``{"rebuilt": False, "reason": ...}`` when the replica is not
+        quarantined or no routable donor exists (the replica then *stays*
+        quarantined for a later attempt).
+        """
+        with self._rebuild_lock:
+            replica = self.replicas[index]
+            with self._lock:
+                if replica.health is not ReplicaHealth.QUARANTINED:
+                    return {
+                        "rebuilt": False,
+                        "reason": f"replica {index} is {replica.health.value}, "
+                                  "not quarantined",
+                    }
+                if donor is None:
+                    healthy = [
+                        i
+                        for i, sibling in enumerate(self.replicas)
+                        if i != index and sibling.health is ReplicaHealth.HEALTHY
+                    ]
+                    routable = [
+                        i
+                        for i in self._routable_indices_locked()
+                        if i != index
+                    ]
+                    candidates = healthy or routable
+                    if not candidates:
+                        return {"rebuilt": False, "reason": "no routable donor"}
+                    donor = candidates[0]
+                replica.health = ReplicaHealth.REBUILDING
+            try:
+                clone = self.replicas[donor].run(
+                    clone_database, self.replicas[donor].database
+                )
+            except BaseException as exc:  # noqa: BLE001 - stay quarantined, retryable
+                with self._lock:
+                    replica.health = ReplicaHealth.QUARANTINED
+                    self._health["rebuild_failures"] += 1
+                return {
+                    "rebuilt": False,
+                    "reason": f"clone from replica {donor} failed: {exc}",
+                }
+            replica.replace_database(clone)
+            with self._lock:
+                replica.health = ReplicaHealth.HEALTHY
+                self._reads_seen[index] = 0.0
+                self._io_ewma[index] = 0.0
+                for costs in self._cost.values():
+                    if index < len(costs):
+                        costs[index] = None  # stale EWMA of the dead layout
+                self._health["rebuilds"] += 1
+            return {"rebuilt": True, "replica": index, "donor": donor}
 
     # -- execution (replica worker threads) -----------------------------------
 
@@ -268,28 +522,51 @@ class Router:
         re-resolved here by SQL text — a warm plan-cache dict hit per
         distinct statement — so every replica executes its *own* compiled
         plan against its *own* diverged layout.
+
+        Per-member errors are **isolated** (``execute_wave(...,
+        isolate=True)``): a poison member comes back as an exception instance
+        in its slot while the rest of the wave completes.  Failures of the
+        wave as a whole — an injected crash, a worker exception, anything
+        thrown before member execution — are recorded with the failure
+        detector and re-raised as :class:`TransientError` so the admission
+        layer retries the wave on a failover replica.
         """
         replica = self.replicas[index]
         database = replica.database
-        started = time.perf_counter()
-        local = [
-            (database.prepare_statement(prepared.sql), values)
-            for prepared, values in payload
-        ]
-        results = database.execute_wave(local)
+        try:
+            if self.injector is not None:
+                self.injector.fire("wave.execute", replica=index)
+            started = time.perf_counter()
+            local = [
+                (database.prepare_statement(prepared.sql), values)
+                for prepared, values in payload
+            ]
+            results = database.execute_wave(local, isolate=True)
+        except TransientError:
+            self.record_wave_failure(index, TransientError("replica worker failed"))
+            raise
+        except Exception as exc:
+            self.record_wave_failure(index, exc)
+            raise TransientError(f"replica {index} failed mid-wave: {exc}") from exc
         elapsed = time.perf_counter() - started
-        replica.queries_served += len(results)
+        replica.queries_served += sum(
+            1 for result in results if not isinstance(result, BaseException)
+        )
         replica.waves_served += 1
         replica.busy_seconds += elapsed
+        self.record_wave_success(index)
         self._observe(index, payload, results)
         return results
 
     def execute_prepared(self, prepared: PreparedPlan, values: tuple[float, ...]):
         """Route one bound statement and run it on its replica's thread."""
         index = self.route(prepared, values)
-        return self.replicas[index].run(
+        result = self.replicas[index].run(
             self.execute_wave_on, index, [(prepared, tuple(values))]
         )[0]
+        if isinstance(result, BaseException):
+            raise result
+        return result
 
     def _observe(
         self,
@@ -308,8 +585,11 @@ class Router:
             clustering = self._clustering
             delta = max(reads - self._reads_seen[index], 0.0)
             self._reads_seen[index] = reads
-            if results:
-                per_query = delta / len(results)
+            completed = [
+                result for result in results if not isinstance(result, BaseException)
+            ]
+            if completed:
+                per_query = delta / len(completed)
                 previous = self._io_ewma[index]
                 self._io_ewma[index] = (
                     per_query if previous == 0.0
@@ -318,6 +598,8 @@ class Router:
             if clustering is None:
                 return
             for (prepared, values), result in zip(payload, results):
+                if isinstance(result, BaseException):
+                    continue  # an isolated poison member carries no profile
                 bounds = self._bounds_of(prepared, values)
                 if bounds is None:
                     continue
@@ -355,12 +637,20 @@ class Router:
            what-if matrix over the diverged layouts and re-assign every
            cluster best-fit; stop when total modeled cost stops dropping.
 
-        Returns a report with the modeled cost trajectory; the routing table
-        and cost model are swapped atomically at the end.
+        Only routable replicas participate: a quarantined replica's wedged
+        worker must not stall the tune loop, and assigning clusters to it
+        would undo its failover.  Returns a report with the modeled cost
+        trajectory; the routing table and cost model are swapped atomically
+        at the end.
         """
         with self._lock:
             history = list(self._history)
-        minimum = max(len(self.replicas), 2)
+            active = [
+                self.replicas[index] for index in self._routable_indices_locked()
+            ]
+        if not active:
+            return {"retuned": False, "reason": "no routable replicas"}
+        minimum = max(len(active), 2)
         if len(history) < minimum:
             return {
                 "retuned": False,
@@ -384,19 +674,23 @@ class Router:
             samples.append([history[i] for i in member_indices])
         sizes = clustering.sizes()
 
-        # Balanced seed: biggest clusters first, dealt round-robin.
+        # Balanced seed: biggest clusters first, dealt round-robin over the
+        # routable fleet.
         order = sorted(range(clustering.n_clusters), key=lambda c: -sizes[c])
         assignment = {
-            cluster: position % len(self.replicas)
+            cluster: active[position % len(active)].index
             for position, cluster in enumerate(order)
         }
 
-        def cost_matrix() -> list[list[float]]:
+        def cost_matrix() -> dict[int, list[float]]:
             futures = [
                 replica.submit(self._modeled_costs, replica, samples)
-                for replica in self.replicas
+                for replica in active
             ]
-            return [future.result() for future in futures]
+            return {
+                replica.index: future.result()
+                for replica, future in zip(active, futures)
+            }
 
         matrix = cost_matrix()
         trajectory = [self._total_cost(matrix, assignment, sizes)]
@@ -405,7 +699,7 @@ class Router:
         for _ in range(max_iterations):
             if replay:
                 futures = []
-                for replica in self.replicas:
+                for replica in active:
                     bounds = [
                         pair
                         for cluster, target in assignment.items()
@@ -419,8 +713,9 @@ class Router:
             matrix = cost_matrix()
             assignment = {
                 cluster: min(
-                    range(len(self.replicas)), key=lambda r: matrix[r][cluster]
-                )
+                    (matrix[replica.index][cluster], replica.index)
+                    for replica in active
+                )[1]
                 for cluster in range(clustering.n_clusters)
             }
             total = self._total_cost(matrix, assignment, sizes)
@@ -435,6 +730,7 @@ class Router:
             "retuned": True,
             "n_clusters": clustering.n_clusters,
             "history": len(history),
+            "replicas": [replica.index for replica in active],
             "initial_cost_bytes": trajectory[0],
             "final_cost_bytes": best_total,
             "improved": best_total < trajectory[0],
@@ -496,7 +792,7 @@ class Router:
 
     @staticmethod
     def _total_cost(
-        matrix: list[list[float]], assignment: dict[int, int], sizes: np.ndarray
+        matrix: dict[int, list[float]], assignment: dict[int, int], sizes: np.ndarray
     ) -> float:
         """Traffic-weighted modeled cost of an assignment."""
         return float(
@@ -509,9 +805,19 @@ class Router:
     # -- database-compatible surface (fan-out & delegation) --------------------
 
     def _fan_out(self, op: str, *args: Any, copy_arrays: bool = False) -> list[Any]:
-        """Run ``database.<op>(*args)`` on every replica, concurrently."""
+        """Run ``database.<op>(*args)`` on every routable replica, concurrently.
+
+        Quarantined replicas are skipped — their workers may be wedged, and
+        their state is replaced wholesale by the next rebuild (the donor has
+        the DDL applied, so the clone carries it over).
+        """
         futures = []
-        for replica in self.replicas:
+        targets = [
+            replica for replica in self.replicas if replica.health.routable
+        ]
+        if not targets:
+            raise TransientError("no routable replicas (entire fleet is quarantined)")
+        for replica in targets:
             replica_args = args
             if copy_arrays and replica.index > 0 and args:
                 # Replicas must not share mutable base arrays.
@@ -552,6 +858,7 @@ class Router:
                 lambda db=replica.database: db.enable_adaptive(table, column, **options)
             )
             for replica in self.replicas
+            if replica.health.routable
         ]
         return [future.result() for future in futures][0]
 
@@ -559,19 +866,24 @@ class Router:
         self._fan_out("disable_adaptive", table, column)
 
     def table_names(self) -> list[str]:
-        return self.replicas[0].database.table_names()
+        return self._lead_replica().database.table_names()
 
     def prepare_statement(self, sql: str) -> PreparedPlan:
-        return self.replicas[0].run(self.replicas[0].database.prepare_statement, sql)
+        lead = self._lead_replica()
+        return lead.run(lead.database.prepare_statement, sql)
 
     def execute(self, sql: str):
-        """Route a literal statement round-robin onto a replica worker."""
-        index = next(self._rr) % len(self.replicas)
+        """Route a literal statement round-robin onto a routable replica worker."""
+        eligible = self.healthy_indices()
+        if not eligible:
+            raise TransientError("no routable replicas (entire fleet is quarantined)")
+        index = eligible[next(self._rr) % len(eligible)]
         replica = self.replicas[index]
         return replica.run(replica.database.execute, sql)
 
     def explain(self, sql: str) -> str:
-        return self.replicas[0].run(self.replicas[0].database.explain, sql)
+        lead = self._lead_replica()
+        return lead.run(lead.database.explain, sql)
 
     def cache_stats(self) -> dict[str, Any]:
         """Fleet cache counters: single-engine shape + per-replica breakdown."""
@@ -582,7 +894,7 @@ class Router:
     # -- observability ---------------------------------------------------------
 
     def router_stats(self) -> dict[str, Any]:
-        """Routing, cost-model and divergence summary for the admin surface."""
+        """Routing, cost-model, health and divergence summary for the admin surface."""
         with self._lock:
             clustering = self._clustering
             stats: dict[str, Any] = {
@@ -593,6 +905,14 @@ class Router:
                     "unclustered_routes": self._unclustered_routes,
                     "history": len(self._history),
                     "hot_query_threshold": self.hot_query_threshold,
+                },
+                "health": {
+                    "states": [
+                        replica.health.value for replica in self.replicas
+                    ],
+                    "routable": self._routable_indices_locked(),
+                    "quarantine_after": self.quarantine_after,
+                    **dict(self._health),
                 },
                 "cost_model": {
                     "ewma_alpha": self.ewma_alpha,

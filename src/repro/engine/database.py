@@ -597,7 +597,9 @@ class Database:
     def execute_wave(
         self,
         requests: Sequence[tuple[PreparedPlan, tuple[float, ...]]],
-    ) -> list[QueryResult]:
+        *,
+        isolate: bool = False,
+    ) -> list[QueryResult | BaseException]:
         """One admission wave: bound statements from many clients, one batch pass.
 
         The server front-end's engine hook.  ``requests`` pairs each member's
@@ -612,8 +614,29 @@ class Database:
         reorganization stays once-per-batch).  Plans lowered under an older
         cache generation are re-prepared transparently, once per distinct
         statement.
+
+        With ``isolate=True`` a poison member no longer fails the wave as one
+        unit: if the batched pass raises, the wave re-runs member by member
+        and each failing member's exception is returned **in its slot** while
+        the rest complete normally.  Re-execution is safe — waves carry bound
+        range selects, which are idempotent above adaptation (a double
+        adaptation pass is at worst wasted reorganization work).  An
+        exception escaping ``isolate=True`` is therefore infrastructure-level
+        (the engine itself is broken), which is exactly the signal the
+        router's failure detector wants.
         """
         requests = list(requests)
+        if isolate:
+            try:
+                return self.execute_wave(requests)
+            except Exception:  # noqa: BLE001 - replayed per member below
+                out: list[QueryResult | BaseException] = []
+                for request in requests:
+                    try:
+                        out.extend(self.execute_wave([request]))
+                    except Exception as exc:  # noqa: BLE001 - isolated to its slot
+                        out.append(exc)
+                return out
         fresh: dict[int, PreparedPlan] = {}
         templates: dict[int, _BatchSpec | None] = {}
         resolved: list[tuple[PreparedPlan, tuple[float, ...]]] = []

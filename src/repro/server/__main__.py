@@ -58,6 +58,33 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="preload a 'demo' table with N uniform rows (adaptive on 'v')",
     )
+    parser.add_argument(
+        "--wave-deadline-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-wave deadline; a blown deadline quarantines the replica",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="failover retries per wave on transient replica failure",
+    )
+    parser.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=2,
+        help="consecutive wave failures before a replica is quarantined",
+    )
+    parser.add_argument(
+        "--fault-spec",
+        default=None,
+        metavar="JSON",
+        help="arm the deterministic fault injector, e.g. "
+        '\'{"seed": 7, "faults": [{"site": "wave.execute", "at": 5, '
+        '"action": "crash", "match": {"replica": 1}}]}\' (chaos testing)',
+    )
     return parser
 
 
@@ -74,6 +101,11 @@ async def _main(args: argparse.Namespace) -> None:
             },
         )
         database.enable_adaptive("demo", "v")
+    injector = None
+    if args.fault_spec:
+        from repro.fault import specs_from_json
+
+        injector = specs_from_json(args.fault_spec)
     server = ReproServer(
         database,
         host=args.host,
@@ -83,7 +115,13 @@ async def _main(args: argparse.Namespace) -> None:
         max_wave=args.max_wave,
         overflow=args.overflow,
         replicas=args.replicas,
-        router_knobs={"hot_query_threshold": args.hot_query_threshold},
+        router_knobs={
+            "hot_query_threshold": args.hot_query_threshold,
+            "quarantine_after": args.quarantine_after,
+        },
+        wave_deadline_s=args.wave_deadline_s,
+        max_retries=args.max_retries,
+        injector=injector,
     )
     async with server:
         assert server.address is not None

@@ -39,6 +39,27 @@ HELLO response and in :meth:`AdmissionController.stats`):
     round takes at most one request per connection — so an interactive
     client's query rides the very next wave no matter how deep the
     firehose's backlog is.
+
+Fault tolerance (the wave-level half; the replica health machine lives in
+:class:`~repro.cluster.Router`):
+
+* member errors are **isolated** — waves execute with ``isolate=True``, so a
+  poison member resolves its own future with its own exception while its
+  wave-mates complete normally;
+* a wave that dies with the *infrastructure*
+  (:class:`~repro.api.exceptions.TransientError`: replica crash, injected
+  fault, deadline timeout) is **retried with exponential backoff** on a
+  failover replica, up to ``max_retries`` times — safe because waves carry
+  bound range selects, idempotent above adaptation;
+* ``wave_deadline_s`` bounds each wave attempt; a blown deadline quarantines
+  the replica (its worker is presumed wedged and is abandoned — the engine
+  call keeps running on the orphaned thread but its result is discarded);
+* quarantined replicas are **rebuilt in the background**
+  (``auto_rebuild=True``) via ``Router.rebuild_replica`` on a default-pool
+  thread, then re-admitted to routing;
+* :meth:`AdmissionController.drain` supports graceful shutdown: new
+  submissions are refused while queued requests and in-flight waves run to
+  completion.
 """
 
 from __future__ import annotations
@@ -47,9 +68,14 @@ import asyncio
 from collections import deque
 from concurrent.futures import Executor
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Hashable
 
-from repro.api.exceptions import OperationalError, translate_exception
+from repro.api.exceptions import (
+    OperationalError,
+    TransientError,
+    translate_exception,
+)
 
 
 @dataclass(slots=True)
@@ -85,6 +111,10 @@ class AdmissionStats:
     last_wave: int = 0
     max_wave_seen: int = 0
     wave_members: int = 0
+    retries: int = 0
+    wave_timeouts: int = 0
+    member_failures: int = 0
+    rebuilds_started: int = 0
     connections_seen: set = field(default_factory=set, repr=False)
     replica_waves: list[int] = field(default_factory=list)
     replica_members: list[int] = field(default_factory=list)
@@ -101,6 +131,10 @@ class AdmissionStats:
             "last_wave": self.last_wave,
             "max_wave_seen": self.max_wave_seen,
             "mean_wave": self.wave_members / self.waves if self.waves else 0.0,
+            "retries": self.retries,
+            "wave_timeouts": self.wave_timeouts,
+            "member_failures": self.member_failures,
+            "rebuilds_started": self.rebuilds_started,
             "pending": pending,
         }
         if len(self.replica_waves) > 1:
@@ -146,6 +180,10 @@ class AdmissionController:
         max_wave: int = 256,
         max_inflight_per_connection: int | None = None,
         overflow: str = "error",
+        wave_deadline_s: float | None = None,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        auto_rebuild: bool = True,
     ) -> None:
         if batch_window_us < 0:
             raise ValueError("batch_window_us must be >= 0")
@@ -153,6 +191,10 @@ class AdmissionController:
             raise ValueError("max_inflight and max_wave must be >= 1")
         if overflow not in ("error", "wait"):
             raise ValueError(f"overflow must be 'error' or 'wait', got {overflow!r}")
+        if wave_deadline_s is not None and wave_deadline_s <= 0:
+            raise ValueError("wave_deadline_s must be > 0 (or None)")
+        if max_retries < 0 or retry_backoff_s < 0:
+            raise ValueError("max_retries and retry_backoff_s must be >= 0")
         if max_inflight_per_connection is None:
             max_inflight_per_connection = max(1, max_inflight // 4)
         if max_inflight_per_connection < 1:
@@ -168,12 +210,19 @@ class AdmissionController:
         self.max_wave = int(max_wave)
         self.max_inflight_per_connection = int(max_inflight_per_connection)
         self.overflow = overflow
+        self.wave_deadline_s = wave_deadline_s
+        self.max_retries = int(max_retries)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.auto_rebuild = bool(auto_rebuild)
 
         self._shards: list[_Shard] = [_Shard() for _ in range(n_replicas)]
         self._connection_pending: dict[Hashable, int] = {}
         self._pending = 0
+        self._inflight_waves = 0
         self._running = False
+        self._draining = False
         self._task: asyncio.Task | None = None
+        self._rebuild_tasks: set[asyncio.Task] = set()
         self._wake = asyncio.Event()
         self._drained = asyncio.Condition()
         self.stats = AdmissionStats(
@@ -191,6 +240,35 @@ class AdmissionController:
             self._run(), name="repro-admission-flush"
         )
 
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Graceful shutdown, phase 1: refuse new work, finish what's queued.
+
+        Flips the controller into draining mode (``submit`` raises
+        :class:`OperationalError`), then waits for every queued request *and*
+        every in-flight wave to resolve — completed waves still deliver their
+        results to waiting clients, which is the point of draining instead of
+        stopping.  Returns ``True`` when the backlog hit zero, ``False`` on
+        timeout (a wedged wave past its deadline; :meth:`stop` will fail the
+        leftovers).  Idempotent; the controller stays usable for ``stop``.
+        """
+        self._draining = True
+        self._wake.set()
+
+        async def settled() -> None:
+            while self._pending > 0 or self._inflight_waves > 0:
+                async with self._drained:
+                    if self._pending == 0 and self._inflight_waves == 0:
+                        return
+                    await self._drained.wait()
+
+        try:
+            await asyncio.wait_for(settled(), timeout)
+        except asyncio.TimeoutError:
+            return False
+        if self._rebuild_tasks:  # let background rebuilds finish re-admission
+            await asyncio.gather(*self._rebuild_tasks, return_exceptions=True)
+        return True
+
     async def stop(self) -> None:
         """Stop the flush loop and fail everything still queued."""
         if not self._running:
@@ -200,6 +278,11 @@ class AdmissionController:
         if self._task is not None:
             await self._task
             self._task = None
+        for task in list(self._rebuild_tasks):
+            task.cancel()
+        if self._rebuild_tasks:
+            await asyncio.gather(*self._rebuild_tasks, return_exceptions=True)
+            self._rebuild_tasks.clear()
         for shard in self._shards:
             for queue in shard.queues.values():
                 while queue:
@@ -256,6 +339,10 @@ class AdmissionController:
             "max_wave": self.max_wave,
             "max_inflight_per_connection": self.max_inflight_per_connection,
             "overflow": self.overflow,
+            "wave_deadline_s": self.wave_deadline_s,
+            "max_retries": self.max_retries,
+            "retry_backoff_s": self.retry_backoff_s,
+            "auto_rebuild": self.auto_rebuild,
             "replicas": len(self._shards),
         }
 
@@ -308,6 +395,8 @@ class AdmissionController:
         return future
 
     def _check_running(self) -> None:
+        if self._draining:
+            raise OperationalError("server is draining; not accepting new requests")
         if not self._running:
             raise OperationalError("admission controller is not running")
 
@@ -371,7 +460,15 @@ class AdmissionController:
         return wave
 
     async def _execute_wave(self, shard_index: int, wave: list[_Request]) -> None:
-        """One engine pass for the whole wave, on its shard's worker thread."""
+        """One engine pass for the whole wave, retried across replicas on failure.
+
+        Member errors come back *in-slot* from ``execute_wave(isolate=True)``
+        and resolve only their own futures.  A wave-level failure is split by
+        taxonomy: :class:`TransientError` (replica crash, injected fault,
+        blown deadline) is retried with exponential backoff on a routable
+        failover replica — waves carry idempotent bound selects, so replays
+        are safe — while anything terminal fails the wave's members at once.
+        """
         self.stats.waves += 1
         self.stats.last_wave = len(wave)
         self.stats.wave_members += len(wave)
@@ -379,27 +476,122 @@ class AdmissionController:
         self.stats.replica_waves[shard_index] += 1
         self.stats.replica_members[shard_index] += len(wave)
         payload = [(request.prepared, request.values) for request in wave]
-        loop = asyncio.get_running_loop()
+        self._inflight_waves += 1
         try:
-            if self._router is not None:
-                results = await loop.run_in_executor(
-                    self._router.executor(shard_index),
-                    self._router.execute_wave_on,
-                    shard_index,
-                    payload,
-                )
-            else:
-                results = await loop.run_in_executor(
-                    self._executor, self._database.execute_wave, payload
-                )
-        except Exception as exc:  # noqa: BLE001 - the wave fails as one unit
-            mapped = translate_exception(exc)
-            for request in wave:
-                if not request.future.done():
-                    request.future.set_exception(mapped)
-            self.stats.failed += len(wave)
+            target = shard_index
+            attempt = 0
+            while True:
+                try:
+                    results = await self._run_wave_once(target, payload)
+                except asyncio.TimeoutError:
+                    # The worker blew the wave deadline: presume it wedged,
+                    # abandon the attempt (the engine call keeps running on
+                    # the orphaned thread; its late result is discarded) and
+                    # quarantine via the router's failure detector.
+                    self.stats.wave_timeouts += 1
+                    if self._router is not None:
+                        self._router.record_wave_timeout(target)
+                        self._maybe_rebuild(target)
+                    exc: BaseException = TransientError(
+                        f"wave deadline of {self.wave_deadline_s}s expired "
+                        f"on replica {target}"
+                    )
+                    retry = self._retry_target(target, attempt)
+                    if retry is None:
+                        self._fail_wave(wave, exc)
+                        return
+                except TransientError as exc:
+                    # execute_wave_on already recorded the failure.
+                    if self._router is not None:
+                        self._maybe_rebuild(target)
+                    retry = self._retry_target(target, attempt)
+                    if retry is None:
+                        self._fail_wave(wave, exc)
+                        return
+                except Exception as exc:  # noqa: BLE001 - terminal wave failure
+                    self._fail_wave(wave, translate_exception(exc))
+                    return
+                else:
+                    for request, result in zip(wave, results):
+                        if request.future.done():
+                            continue
+                        if isinstance(result, BaseException):
+                            request.future.set_exception(translate_exception(result))
+                            self.stats.failed += 1
+                            self.stats.member_failures += 1
+                        else:
+                            request.future.set_result(result)
+                            self.stats.completed += 1
+                    return
+                attempt += 1
+                self.stats.retries += 1
+                if self.retry_backoff_s > 0:
+                    await asyncio.sleep(self.retry_backoff_s * 2 ** (attempt - 1))
+                target = retry
+        finally:
+            self._inflight_waves -= 1
+            async with self._drained:
+                self._drained.notify_all()
+
+    async def _run_wave_once(
+        self, target: int, payload: list[tuple[Any, tuple[float, ...]]]
+    ) -> list[Any]:
+        """One wave attempt on one replica's worker, under the wave deadline."""
+        loop = asyncio.get_running_loop()
+        if self._router is not None:
+            call = loop.run_in_executor(
+                self._router.executor(target),
+                self._router.execute_wave_on,
+                target,
+                payload,
+            )
         else:
-            for request, result in zip(wave, results):
-                if not request.future.done():
-                    request.future.set_result(result)
-            self.stats.completed += len(wave)
+            call = loop.run_in_executor(
+                self._executor,
+                partial(self._database.execute_wave, payload, isolate=True),
+            )
+        if self.wave_deadline_s is None:
+            return await call
+        return await asyncio.wait_for(call, self.wave_deadline_s)
+
+    def _retry_target(self, failed: int, attempt: int) -> int | None:
+        """The replica for the next attempt, or ``None`` when out of retries."""
+        if self._router is None or attempt >= self.max_retries:
+            return None
+        routable = self._router.healthy_indices()
+        if not routable:
+            return None
+        survivors = [index for index in routable if index != failed] or routable
+        return survivors[attempt % len(survivors)]
+
+    def _fail_wave(self, wave: list[_Request], exc: BaseException) -> None:
+        for request in wave:
+            if not request.future.done():
+                request.future.set_exception(exc)
+        self.stats.failed += len(wave)
+
+    def _maybe_rebuild(self, index: int) -> None:
+        """Kick off a background rebuild of a quarantined replica, once."""
+        if not self.auto_rebuild or self._router is None:
+            return
+        replica = self._router.replicas[index]
+        if getattr(replica.health, "value", None) != "quarantined":
+            return
+        loop = asyncio.get_running_loop()
+        task = loop.create_task(
+            self._rebuild_off_loop(index),
+            name=f"repro-rebuild-replica-{index}",
+        )
+        self.stats.rebuilds_started += 1
+        self._rebuild_tasks.add(task)
+        task.add_done_callback(self._rebuild_tasks.discard)
+
+    async def _rebuild_off_loop(self, index: int) -> dict[str, Any]:
+        """Run ``Router.rebuild_replica`` on a default-pool thread.
+
+        The clone blocks on the donor's worker queue, so it must never run
+        on the event loop itself.
+        """
+        return await asyncio.get_running_loop().run_in_executor(
+            None, self._router.rebuild_replica, index
+        )

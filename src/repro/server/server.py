@@ -101,6 +101,12 @@ class ReproServer:
         overflow: str = "error",
         replicas: int = 1,
         router_knobs: dict[str, Any] | None = None,
+        wave_deadline_s: float | None = None,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        auto_rebuild: bool = True,
+        drain_timeout_s: float = 5.0,
+        injector: Any | None = None,
     ) -> None:
         self.database = database if database is not None else Database()
         self.router: Router | None = None
@@ -108,7 +114,10 @@ class ReproServer:
             # Scale-out mode: the seed database becomes replica 0 of a
             # divergent fleet; waves are routed per replica by the admission
             # layer and DDL fans out (see repro.cluster).
-            self.router = Router(self.database, replicas, **(router_knobs or {}))
+            knobs = dict(router_knobs or {})
+            if injector is not None:
+                knobs.setdefault("injector", injector)
+            self.router = Router(self.database, replicas, **knobs)
         self.engine: Any = self.router if self.router is not None else self.database
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-engine"
@@ -121,7 +130,12 @@ class ReproServer:
             max_wave=max_wave,
             max_inflight_per_connection=max_inflight_per_connection,
             overflow=overflow,
+            wave_deadline_s=wave_deadline_s,
+            max_retries=max_retries,
+            retry_backoff_s=retry_backoff_s,
+            auto_rebuild=auto_rebuild,
         )
+        self.drain_timeout_s = float(drain_timeout_s)
         self._host = host
         self._port = port
         self._server: asyncio.AbstractServer | None = None
@@ -157,7 +171,16 @@ class ReproServer:
         await self._server.serve_forever()
 
     async def stop(self) -> None:
-        """Stop accepting, drop clients, drain the admission layer, join the worker."""
+        """Graceful shutdown: drain in-flight work, then close everything.
+
+        Ordering matters: first the listener closes (no new connections),
+        then the admission layer **drains** — queued requests and in-flight
+        waves run to completion while new submissions are refused — then each
+        connection flushes its response pump so completed answers reach their
+        clients before the sockets die.  Only after that are the reader
+        tasks cancelled and the workers joined (hard-timeout: a wedged
+        replica worker is abandoned, never waited on forever).
+        """
         if self._stopped:
             return
         self._stopped = True
@@ -165,6 +188,9 @@ class ReproServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        await self.admission.drain(timeout=self.drain_timeout_s)
+        for connection in list(self._connections):
+            await connection.drain_responses(timeout=self.drain_timeout_s)
         for connection in list(self._connections):
             await connection.shutdown()
         await self.admission.stop()
@@ -245,6 +271,23 @@ class _ClientConnection:
             self._task.cancel()
             with contextlib.suppress(asyncio.CancelledError):
                 await self._task
+
+    async def drain_responses(self, timeout: float = 5.0) -> None:
+        """Flush every queued response to the socket (graceful server stop).
+
+        By the time this runs the admission layer has drained, so the pump's
+        remaining futures are resolved — this just lets it write them out.
+        The reader may still be alive; it is cancelled afterwards and skips
+        re-cancelling a pump that already retired.
+        """
+        if self._pump_done or self._pump_task is None or self._pump_task.done():
+            return
+        self._responses.put_nowait(None)
+        # CancelledError here is the *pump's* (a vanished client's reader
+        # tore it down mid-flush), not ours — swallow it like a timeout.
+        with contextlib.suppress(asyncio.TimeoutError, asyncio.CancelledError):
+            await asyncio.wait_for(asyncio.shield(self._pump_task), timeout)
+        self._pump_done = self._pump_task.done()
 
     # -- the reader loop ------------------------------------------------------
 

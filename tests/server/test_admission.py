@@ -28,7 +28,7 @@ class FakeDatabase:
         self.waves: list[list[tuple]] = []
         self.fail = fail
 
-    def execute_wave(self, payload):
+    def execute_wave(self, payload, *, isolate=False):
         self.waves.append(list(payload))
         if self.fail is not None:
             raise self.fail
@@ -302,6 +302,7 @@ class TestStats:
         assert set(rendered) == {
             "admitted", "completed", "failed", "rejected_overflow",
             "waves", "last_wave", "max_wave_seen", "mean_wave", "pending",
+            "retries", "wave_timeouts", "member_failures", "rebuilds_started",
         }
 
     def test_mean_wave_is_zero_before_any_wave(self):
@@ -320,6 +321,10 @@ class TestStats:
             "max_wave": 8,
             "max_inflight_per_connection": 4,
             "overflow": "wait",
+            "wave_deadline_s": None,
+            "max_retries": 2,
+            "retry_backoff_s": 0.05,
+            "auto_rebuild": True,
             "replicas": 1,
         }
         executor.shutdown(wait=True)
