@@ -1,0 +1,379 @@
+"""Self-tuning under workload drift: fixed default knobs vs the controller.
+
+One replication-strategy engine is squeezed by a storage budget sized for a
+*single* query mode, then the workload drifts: a hotspot warm-up phase is
+followed by an interleaved four-mode phase whose combined working set
+exceeds the budget.  With fixed default knobs every phase-two query pays
+budget enforcement walks plus eviction/rematerialization churn — the engine
+thrashes at the budget boundary for the rest of the run.
+
+The self-tuning run drives the identical query stream through the same
+engine with a :class:`~repro.tuning.TuningController` observing each query
+(IO-bytes deltas from the adaptive accountant).  Its what-if estimator is
+trained offline from a small budget sweep (the ``simulation_sweep`` recipe
+applied to real engine measurements), so when the drift detector fires at
+the phase boundary the controller prices one-step budget moves, applies the
+best, trials it for a window, and keeps climbing while moves keep paying
+off — then the uncertainty gate halts the climb once predicted gains
+flatten.  Four committed moves typically lift the budget from "one mode
+fits" to "all four fit" and the thrash disappears.
+
+Both runs time the *whole* drifted phase (``PERF_REPEAT`` segments of
+``PERF_TUNING_QUERIES``) end to end: the fixed engine's enforcement-walk
+cost compounds as its replica tree grows, while the controller run pays
+its climb transient early and then serves from a fitting budget.
+``tuning_gain_x`` is co-measured (both runs execute the same prepared plan
+on the same data in the same process), so the ratio is host-speed
+independent and the PERF_ASSERT bar needs no machine factor.
+
+Metrics merged into ``BENCH_segment_kernels.json``:
+
+* ``tuning_fixed_qps``      — phase-two throughput with default knobs
+* ``tuning_controller_qps`` — same stream with the controller retuning
+* ``tuning_gain_x``         — controller over fixed (bar: >= 1.3x at the
+  reference scale; the CI gate)
+* ``tuning_budget_growth_x`` — converged budget over the starting budget
+* ``whatif_rank_corr``      — held-out Spearman of the estimator on a
+  ``run_grid``-family sweep (bar: >= 0.8, scale independent)
+
+Scales with the environment (CI runs reduced)::
+
+    PERF_TUNING_ROWS      rows in the table            (default 100 000)
+    PERF_TUNING_QUERIES   timed phase-two queries      (default 3 000)
+    PERF_TUNING_SLACK_KB  budget headroom over column  (default 48)
+    PERF_TUNING_WINDOW    controller window (queries)  (default 32)
+    PERF_REPEAT           timing sweeps                (default 3)
+
+Run after ``bench_perf_suite.py`` (the records merge into its report)::
+
+    PYTHONPATH=src python benchmarks/bench_self_tuning.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.perf_tracking import PerfSuite, env_scale  # noqa: E402
+from repro.engine.database import Database  # noqa: E402
+from repro.tuning import (  # noqa: E402
+    DriftDetector,
+    TrainingExample,
+    TuningController,
+    WhatIfEstimator,
+    rank_correlation,
+    simulation_sweep_examples,
+    workload_feature_vector,
+)
+from repro.tuning.knobs import database_knobs  # noqa: E402
+from repro.util.units import KB  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    hotspot_workload,
+    multimodal_workload,
+    uniform_workload,
+)
+
+REPORT_PATH = REPO_ROOT / "BENCH_segment_kernels.json"
+
+SQL = "SELECT objid FROM p WHERE ra BETWEEN ? AND ?"
+DOMAIN = (0.0, 360.0)
+N_MODES = 4
+SELECTIVITY = 0.002
+SWEEP_MULTIPLIERS = (1.01, 1.1, 1.25, 1.5, 2.0, 3.0)
+
+
+def build_database(*, n_rows: int, slack_kb: int, budget: float | None = None) -> Database:
+    """A replication column under a budget sized for one mode's working set."""
+    rng = np.random.default_rng(29)
+    database = Database()
+    database.create_table("p", {"objid": "int64", "ra": "float64"})
+    database.bulk_load(
+        "p",
+        {
+            "objid": np.arange(n_rows, dtype=np.int64),
+            "ra": rng.uniform(*DOMAIN, size=n_rows),
+        },
+    )
+    database.enable_adaptive(
+        "p", "ra", strategy="replication", model="apm",
+        m_min=1 * KB, m_max=4 * KB,
+        storage_budget=budget if budget is not None else n_rows * 8 + slack_kb * KB,
+    )
+    return database
+
+
+def phase1_bounds(count: int, seed: int) -> list[tuple[float, float]]:
+    """Warm-up phase: one mode, comfortably inside the budget."""
+    workload = multimodal_workload(
+        count, DOMAIN, SELECTIVITY, n_modes=1, seed=seed
+    )
+    return [(query.low, query.high) for query in workload.queries]
+
+
+def phase2_bounds(count: int, seed: int) -> list[tuple[float, float]]:
+    """The drifted phase: four interleaved modes, working set over budget."""
+    workload = multimodal_workload(
+        count, DOMAIN, SELECTIVITY, n_modes=N_MODES, interleave=True, seed=seed
+    )
+    return [(query.low, query.high) for query in workload.queries]
+
+
+def replay(database: Database, prepared, bounds, observe=None) -> None:
+    """Execute every query; optionally feed (low, high, io-delta) to a tuner."""
+    accountant = database.bpm.handles()[0].adaptive.accountant
+    seen = accountant.total_reads_bytes + accountant.total_writes_bytes
+    for low, high in bounds:
+        database.execute_prepared(prepared, (low, high))
+        if observe is not None:
+            total = accountant.total_reads_bytes + accountant.total_writes_bytes
+            observe(low, high, total - seen)
+            seen = total
+
+
+def budget_sweep_examples(*, n_rows: int, slack_kb: int) -> list[TrainingExample]:
+    """Offline what-if training: measure IO/query at a handful of budgets.
+
+    Each sweep point is a fresh engine at that budget replaying the same
+    phase-two sample — honest engine measurements, not a model of them.
+    """
+    floor = n_rows * 8
+    sample = phase2_bounds(200, seed=3)
+    features = workload_feature_vector(
+        [low for low, _ in sample], [high for _, high in sample],
+        domain_low=DOMAIN[0], domain_high=DOMAIN[1],
+    )
+    examples = []
+    for multiplier in SWEEP_MULTIPLIERS:
+        budget = floor * multiplier
+        database = build_database(n_rows=n_rows, slack_kb=slack_kb, budget=budget)
+        prepared = database.prepare_statement(SQL)
+        replay(database, prepared, phase1_bounds(128, seed=5))  # warm the trees
+        accountant = database.bpm.handles()[0].adaptive.accountant
+        base = accountant.total_reads_bytes + accountant.total_writes_bytes
+        replay(database, prepared, sample)
+        io_per_query = (
+            accountant.total_reads_bytes + accountant.total_writes_bytes - base
+        ) / len(sample)
+        examples.append(TrainingExample(
+            knobs={"replication_storage_budget": float(budget)},
+            workload=features,
+            io_bytes=io_per_query,
+        ))
+    return examples
+
+
+def measure_fixed(
+    *, n_rows: int, slack_kb: int, total_queries: int, repeat: int
+) -> float:
+    """Aggregate phase-two qps with knobs pinned at their defaults.
+
+    The whole drifted phase (``repeat`` segments of ``total_queries``) is
+    timed end to end: under a too-small budget the enforcement-walk cost
+    *compounds* as the replica tree grows, so a best-of-N pick would
+    flatter the fixed engine with its freshest segment.
+    """
+    database = build_database(n_rows=n_rows, slack_kb=slack_kb)
+    prepared = database.prepare_statement(SQL)
+    replay(database, prepared, phase1_bounds(512, seed=7))
+    wall = 0.0
+    for sweep in range(repeat):
+        bounds = phase2_bounds(total_queries, seed=9 + sweep)
+        started = time.perf_counter()
+        replay(database, prepared, bounds)
+        wall += time.perf_counter() - started
+    return repeat * total_queries / wall
+
+
+def measure_tuned(
+    examples: list[TrainingExample],
+    *,
+    n_rows: int,
+    slack_kb: int,
+    total_queries: int,
+    window: int,
+    repeat: int,
+) -> tuple[float, dict, float]:
+    """Aggregate phase-two qps with the controller observing every query.
+
+    Timed exactly like :func:`measure_fixed` — the whole drifted phase end
+    to end — so the climb transient (drift fires, budget moves commit one
+    window-trial at a time, early in the first segment) is *included* in
+    the controller's cost.  Returns ``(qps, tuning_stats, budget_growth)``.
+    """
+    database = build_database(n_rows=n_rows, slack_kb=slack_kb)
+    prepared = database.prepare_statement(SQL)
+    estimator = WhatIfEstimator(["replication_storage_budget"], seed=0)
+    estimator.fit(examples)
+    registry = database_knobs(database)
+    budget_before = registry.knobs()["replication_storage_budget"]
+    controller = TuningController(
+        registry, estimator,
+        detector=DriftDetector(domain=DOMAIN, window=window),
+        domain=DOMAIN, window=window,
+        kappa=0.5, min_gain_fraction=0.01,
+        regress_tolerance=0.25, cooldown_windows=1,
+        # The estimator is offline-trained from the budget sweep; live
+        # windows still accumulate as examples but never trigger a refit,
+        # so the sweep's budget trend stays authoritative for pricing.
+        refit_every=1_000_000,
+    )
+    replay(database, prepared, phase1_bounds(512, seed=7), observe=controller.observe)
+    wall = 0.0
+    for sweep in range(repeat):
+        bounds = phase2_bounds(total_queries, seed=9 + sweep)
+        started = time.perf_counter()
+        replay(database, prepared, bounds, observe=controller.observe)
+        wall += time.perf_counter() - started
+    budget_after = registry.knobs()["replication_storage_budget"]
+    return (
+        repeat * total_queries / wall,
+        controller.tuning_stats(),
+        budget_after / budget_before,
+    )
+
+
+def measure_rank_correlation() -> float:
+    """Held-out Spearman on a run_grid-family sweep (the acceptance recipe)."""
+    domain = (0.0, 200_000.0)
+    workloads = [
+        uniform_workload(300, domain, 0.02, seed=1, name="uniform"),
+        hotspot_workload(300, domain, 0.005, seed=2, name="hotspot"),
+    ]
+    knob_grid = [
+        {"apm_m_min": m_min, "apm_m_max": mult * m_min}
+        for m_min in (0.5 * KB, 1 * KB, 2 * KB, 4 * KB, 8 * KB)
+        for mult in (3.0, 6.0)
+    ]
+    examples = simulation_sweep_examples(
+        workloads, knob_grid, column_size=20_000, domain_size=200_000, seed=17,
+    )
+    order = np.random.default_rng(5).permutation(len(examples))
+    train = [examples[i] for i in order[:14]]
+    held_out = [examples[i] for i in order[14:]]
+    estimator = WhatIfEstimator(["apm_m_min", "apm_m_max"], seed=0).fit(train)
+    predicted = [
+        estimator.predict(example.knobs, example.workload).io_bytes
+        for example in held_out
+    ]
+    return rank_correlation(predicted, [example.io_bytes for example in held_out])
+
+
+def run_bench() -> PerfSuite:
+    n_rows = env_scale("PERF_TUNING_ROWS", 100_000)
+    total_queries = env_scale("PERF_TUNING_QUERIES", 3_000)
+    slack_kb = env_scale("PERF_TUNING_SLACK_KB", 48)
+    window = env_scale("PERF_TUNING_WINDOW", 32)
+    repeat = env_scale("PERF_REPEAT", 3)
+
+    suite = PerfSuite("segment_kernels")
+    common = dict(
+        n_rows=n_rows, total_queries=total_queries, slack_kb=slack_kb,
+        window=window, repeat=repeat,
+    )
+
+    examples = budget_sweep_examples(n_rows=n_rows, slack_kb=slack_kb)
+    print("  budget sweep (what-if training):")
+    for example in examples:
+        print(
+            f"    budget {example.knobs['replication_storage_budget'] / KB:8,.0f} KB"
+            f"  ->  {example.io_bytes:12,.0f} B/query"
+        )
+
+    fixed_qps = measure_fixed(
+        n_rows=n_rows, slack_kb=slack_kb,
+        total_queries=total_queries, repeat=repeat,
+    )
+    print(f"  fixed defaults: {fixed_qps:,.0f} qps (thrashing at the budget)")
+
+    tuned_qps, stats, budget_growth = measure_tuned(
+        examples, n_rows=n_rows, slack_kb=slack_kb,
+        total_queries=total_queries, window=window, repeat=repeat,
+    )
+    counters = stats["counters"]
+    print(
+        f"  controller:     {tuned_qps:,.0f} qps "
+        f"({tuned_qps / fixed_qps:.2f}x, {counters['committed']} committed "
+        f"moves, {counters['rollbacks']} rollbacks, "
+        f"budget grew {budget_growth:.2f}x)"
+    )
+
+    correlation = measure_rank_correlation()
+    print(f"  what-if held-out rank correlation: {correlation:.3f}")
+
+    suite.derive(
+        "tuning_fixed_qps", fixed_qps, unit="qps", **common,
+        note="whole drifted 4-mode phase under default knobs: the working "
+             "set exceeds the replication budget, every query pays "
+             "enforcement walks and eviction churn that compound as the "
+             "replica tree grows",
+    )
+    suite.derive(
+        "tuning_controller_qps", tuned_qps, unit="qps", **common,
+        note="the same stream with the TuningController observing each "
+             "query (climb transient included): drift fires, budget moves "
+             "commit window-by-window until the working set fits",
+    )
+    suite.derive(
+        "tuning_gain_x", tuned_qps / fixed_qps, unit="x", **common,
+        committed_moves=counters["committed"],
+        rollbacks=counters["rollbacks"],
+        drift_events=counters["drift_events"],
+        note="controller over fixed defaults, co-measured on one process "
+             "(bar: >= 1.3x at the reference scale; the CI gate)",
+    )
+    suite.derive(
+        "tuning_budget_growth_x", budget_growth, unit="x", **common,
+        note="converged replication_storage_budget over the starting "
+             "budget after the controller's climb",
+    )
+    suite.derive(
+        "whatif_rank_corr", correlation, unit="x",
+        note="held-out Spearman of predicted vs observed IO on a "
+             "run_grid-family (workload, knob) sweep — deterministic and "
+             "scale independent (bar: >= 0.8)",
+    )
+    return suite
+
+
+def main() -> int:
+    suite = run_bench()
+    path = suite.merge_write(REPORT_PATH)
+    print(suite.format_summary())
+    print(f"[merged into {path}]")
+
+    if os.environ.get("PERF_ASSERT") == "1":
+        gain = suite["tuning_gain_x"].value
+        at_reference_scale = (
+            env_scale("PERF_TUNING_ROWS", 100_000) == 100_000
+            and env_scale("PERF_TUNING_QUERIES", 3_000) == 3_000
+            and env_scale("PERF_TUNING_SLACK_KB", 48) == 48
+            and env_scale("PERF_REPEAT", 3) == 3
+        )
+        if at_reference_scale:
+            # Co-measured ratio (see the module docstring): no machine factor.
+            assert gain >= 1.3, (
+                f"self-tuning recovered only {gain:.2f}x over fixed defaults "
+                f"on the drifted workload (bar: >= 1.3x)"
+            )
+        correlation = suite["whatif_rank_corr"].value
+        # Deterministic at every scale: the sweep recipe is fixed-seed.
+        assert correlation >= 0.8, (
+            f"what-if held-out rank correlation {correlation:.3f} below the "
+            f"0.8 acceptance bar"
+        )
+        print(
+            f"[PERF_ASSERT ok: controller {suite['tuning_controller_qps'].value:,.0f} qps "
+            f"({gain:.2f}x fixed defaults), rank corr {correlation:.3f}]"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

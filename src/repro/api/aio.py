@@ -445,6 +445,34 @@ class AsyncAdmin:
         """
         return await self._call("router_stats")
 
+    async def knobs(self) -> list[dict[str, Any]]:
+        """The server's live knob table: one row per registered knob.
+
+        Each row carries ``name``, ``layer``, ``value``, ``default``,
+        ``low``/``high``/``step`` bounds and a description — the full
+        self-tuning surface of :mod:`repro.tuning.knobs`.
+        """
+        return await self._call("knobs")
+
+    async def set_knobs(self, values: dict[str, Any]) -> dict[str, float]:
+        """Validate and apply knob changes server-side (all-or-nothing).
+
+        Returns the applied ``{name: value}`` mapping; an out-of-bounds or
+        constraint-violating value rejects the whole batch with an error
+        frame and leaves every knob untouched.
+        """
+        return await self._call("set_knobs", values=dict(values))
+
+    async def tuning_stats(self) -> dict[str, Any]:
+        """Self-tuning observability: controller state, moves, drift, model.
+
+        On a server without an active controller this returns
+        ``{"enabled": ..., "state": None, "knob_table": [...]}``; with
+        ``--self-tuning`` it carries the controller's full
+        :meth:`~repro.tuning.controller.TuningController.tuning_stats`.
+        """
+        return await self._call("tuning_stats")
+
 
 class AsyncConnection:
     """One pipelined client connection to a :class:`~repro.server.ReproServer`."""

@@ -139,6 +139,8 @@ class Router:
         history: int = 4096,
         share_window: int = 128,
         quarantine_after: int = 2,
+        retune_cooldown_s: float = 2.0,
+        retune_min_new_routes: int = 0,
         join_timeout_s: float = 5.0,
         injector: Any | None = None,
         seed: int | None = 0,
@@ -149,10 +151,14 @@ class Router:
             raise ValueError("hot_query_threshold must be in (0, 1]")
         if quarantine_after < 1:
             raise ValueError(f"quarantine_after must be >= 1, got {quarantine_after}")
+        if retune_cooldown_s < 0.0:
+            raise ValueError("retune_cooldown_s must be >= 0")
         self.hot_query_threshold = float(hot_query_threshold)
         self.ewma_alpha = float(ewma_alpha)
         self.n_clusters = int(n_clusters) if n_clusters else int(n_replicas)
         self.quarantine_after = int(quarantine_after)
+        self.retune_cooldown_s = float(retune_cooldown_s)
+        self.retune_min_new_routes = int(retune_min_new_routes)
         self.join_timeout_s = float(join_timeout_s)
         self.injector = injector
         self.seed = seed
@@ -176,6 +182,9 @@ class Router:
         self._unclustered_routes = 0
         self._retunes = 0
         self._last_retune: dict[str, Any] | None = None
+        self._last_retune_at: float | None = None
+        self._routed_at_last_retune = 0
+        self._retune_history: list[dict[str, Any]] = []
         self._reads_seen: list[float] = [0.0] * n_replicas
         self._io_ewma: list[float] = [0.0] * n_replicas
         self._health = {
@@ -627,6 +636,7 @@ class Router:
         max_iterations: int = 6,
         sample_per_cluster: int = 48,
         replay: bool = True,
+        force: bool = False,
     ) -> dict[str, Any]:
         """Re-partition the workload and re-specialize the fleet.
 
@@ -642,20 +652,61 @@ class Router:
         would undo its failover.  Returns a report with the modeled cost
         trajectory; the routing table and cost model are swapped atomically
         at the end.
+
+        **Hysteresis guard** (so a controller-driven loop cannot oscillate):
+        within ``retune_cooldown_s`` seconds of the previous retune, or
+        before ``retune_min_new_routes`` fresh queries have been routed
+        since it, the call is refused with ``{"retuned": False, "reason":
+        "cooldown"/"hysteresis", ...}``.  ``force=True`` bypasses the guard
+        (operator intervention).  Every attempt — refused or executed — is
+        recorded in ``router_stats()["retune_history"]``.
         """
+        now = time.monotonic()
         with self._lock:
+            if not force:
+                refusal: dict[str, Any] | None = None
+                if (
+                    self._last_retune_at is not None
+                    and now - self._last_retune_at < self.retune_cooldown_s
+                ):
+                    refusal = {
+                        "retuned": False,
+                        "reason": "cooldown",
+                        "cooldown_s": self.retune_cooldown_s,
+                        "elapsed_s": now - self._last_retune_at,
+                    }
+                elif (
+                    self._last_retune_at is not None
+                    and self._routed - self._routed_at_last_retune
+                    < self.retune_min_new_routes
+                ):
+                    refusal = {
+                        "retuned": False,
+                        "reason": "hysteresis",
+                        "min_new_routes": self.retune_min_new_routes,
+                        "new_routes": self._routed - self._routed_at_last_retune,
+                    }
+                if refusal is not None:
+                    self._record_retune_locked(refusal, now)
+                    return refusal
             history = list(self._history)
             active = [
                 self.replicas[index] for index in self._routable_indices_locked()
             ]
         if not active:
-            return {"retuned": False, "reason": "no routable replicas"}
+            report = {"retuned": False, "reason": "no routable replicas"}
+            with self._lock:
+                self._record_retune_locked(report, now)
+            return report
         minimum = max(len(active), 2)
         if len(history) < minimum:
-            return {
+            report = {
                 "retuned": False,
                 "reason": f"need >= {minimum} routed range queries, have {len(history)}",
             }
+            with self._lock:
+                self._record_retune_locked(report, now)
+            return report
         lows = np.asarray([low for low, _ in history], dtype=np.float64)
         highs = np.asarray([high for _, high in history], dtype=np.float64)
         domain = self._fleet_domain(lows, highs)
@@ -746,7 +797,27 @@ class Router:
             self._shares = [float(s) / total_trained for s in sizes]
             self._retunes += 1
             self._last_retune = report
+            self._last_retune_at = time.monotonic()
+            self._routed_at_last_retune = self._routed
+            self._record_retune_locked(report, now)
         return report
+
+    def _record_retune_locked(self, report: dict[str, Any], at: float) -> None:
+        """Append a bounded ``retune_history`` entry (caller holds the lock)."""
+        entry = {
+            "at_monotonic_s": at,
+            "routed": self._routed,
+            "retuned": bool(report.get("retuned")),
+        }
+        if report.get("retuned"):
+            entry["initial_cost_bytes"] = report.get("initial_cost_bytes")
+            entry["final_cost_bytes"] = report.get("final_cost_bytes")
+            entry["improved"] = report.get("improved")
+        else:
+            entry["reason"] = report.get("reason")
+        self._retune_history.append(entry)
+        if len(self._retune_history) > 64:
+            del self._retune_history[: len(self._retune_history) - 64]
 
     def _fleet_domain(self, lows: np.ndarray, highs: np.ndarray) -> tuple[float, float]:
         """Feature-normalization domain: the managed columns', else the data's."""
@@ -929,5 +1000,39 @@ class Router:
                 "shares": list(self._shares),
                 "retunes": self._retunes,
                 "last_retune": self._last_retune,
+                "retune_history": [dict(entry) for entry in self._retune_history],
+                "retune_guard": {
+                    "cooldown_s": self.retune_cooldown_s,
+                    "min_new_routes": self.retune_min_new_routes,
+                    "last_retune_at_monotonic_s": self._last_retune_at,
+                    "routed_since_last_retune": (
+                        self._routed - self._routed_at_last_retune
+                    ),
+                },
             }
         return stats
+
+    # ------------------------------------------------------------------
+    # Self-tuning knob surface
+    # ------------------------------------------------------------------
+
+    def knob_registry(self):
+        """Build the fleet-wide :class:`~repro.tuning.knobs.KnobRegistry`.
+
+        Covers the router's own knobs (``hot_query_threshold``,
+        ``router_ewma_alpha``) plus the engine knobs of every routable
+        replica, with a single apply fanned out across the fleet so the
+        replicas never diverge on layout policy.  Built fresh per call —
+        columns made adaptive after the last call are picked up.
+        """
+        from repro.tuning.knobs import server_knob_registry
+
+        return server_knob_registry(self)
+
+    def knobs(self) -> dict[str, float]:
+        """Current value of every registered fleet knob."""
+        return self.knob_registry().knobs()
+
+    def set_knobs(self, values: dict[str, Any]) -> dict[str, float]:
+        """Validate and apply knob changes fleet-wide (all-or-nothing)."""
+        return self.knob_registry().set_knobs(values)

@@ -336,6 +336,36 @@ class Database:
         """The BPM handle of an adaptive column (for inspection)."""
         return self.bpm.handle(table.lower(), column.lower())
 
+    # -- self-tuning knobs -----------------------------------------------------
+
+    def knob_registry(self):
+        """The engine's live knob surface (see :mod:`repro.tuning.knobs`).
+
+        Built fresh on every call so knobs appear and disappear with the
+        adaptive registrations that carry them (an APM column brings the
+        split-threshold pair, a budgeted replication column brings the
+        storage budget).
+        """
+        from repro.tuning.knobs import database_knobs
+
+        return database_knobs(self)
+
+    def knobs(self) -> dict[str, float]:
+        """Current value of every storage-model knob on this engine."""
+        return self.knob_registry().knobs()
+
+    def set_knobs(self, values: dict[str, Any]) -> dict[str, float]:
+        """Validate and apply knob changes; returns the new knob vector.
+
+        All-or-nothing (a rejected batch changes nothing) and answer-
+        preserving: knobs steer *layout* decisions — split thresholds,
+        replica eviction — never predicate semantics, so queries before and
+        after a change return the same rows (property-tested in
+        ``tests/tuning``).  Must run on the thread that owns the engine,
+        like any other engine call.
+        """
+        return self.knob_registry().set_knobs(values)
+
     def cache_stats(self) -> dict[str, Any]:
         """Plan-cache observability: per-level and total counters.
 

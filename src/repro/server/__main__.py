@@ -78,6 +78,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="consecutive wave failures before a replica is quarantined",
     )
     parser.add_argument(
+        "--self-tuning",
+        action="store_true",
+        help="enable the online knob controller (drift-gated what-if tuning; "
+        "observe via the ADMIN tuning_stats op)",
+    )
+    parser.add_argument(
+        "--tuning-pulse-s",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="self-tuning pulse interval in seconds",
+    )
+    parser.add_argument(
         "--fault-spec",
         default=None,
         metavar="JSON",
@@ -122,12 +135,15 @@ async def _main(args: argparse.Namespace) -> None:
         wave_deadline_s=args.wave_deadline_s,
         max_retries=args.max_retries,
         injector=injector,
+        self_tuning=args.self_tuning,
+        tuning={"pulse_s": args.tuning_pulse_s},
     )
     async with server:
         assert server.address is not None
         print(
             f"repro server listening on {server.address[0]}:{server.address[1]}"
             + (f" ({args.replicas} routed replicas)" if args.replicas > 1 else "")
+            + (" [self-tuning]" if args.self_tuning else "")
         )
         with contextlib.suppress(asyncio.CancelledError):
             await server.serve_forever()

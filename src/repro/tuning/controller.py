@@ -1,0 +1,388 @@
+"""The online tuning controller: drift-gated, uncertainty-gated knob moves.
+
+The KnobCF shape, grown over this engine's substrate:
+
+1. **Observe.**  Every query (or every admission wave) reports its bounds
+   and its observed cost — IO bytes from the adaptive accountants, or warm
+   latency.  Observations aggregate into fixed-size windows; each completed
+   window becomes a training example for the what-if estimator, so the model
+   keeps learning the live engine.
+2. **Detect.**  The :class:`~repro.tuning.drift.DriftDetector` watches the
+   window stream (single engine) or the router's traffic-share EWMAs
+   (fleet).  No drift, no tuning — a stable workload keeps its knobs.
+3. **Propose.**  On drift, every registered knob offers two candidate moves
+   (``±step``, clamped, cross-validated); the estimator prices each against
+   the current workload features and the best predicted objective wins.
+4. **Gate.**  The move is applied only when its predicted gain clears the
+   estimator's own uncertainty band (``gain > kappa * std``) *and* a
+   minimum relative-gain floor — an uncertain model tunes nothing.
+5. **Verify or roll back.**  The next window(s) run under the new knobs as
+   a trial.  Observed cost regressing beyond tolerance restores the
+   pre-move snapshot; an improvement commits the move and lets the
+   controller keep climbing while gains persist.
+
+Everything the controller does is observable through
+:meth:`TuningController.tuning_stats` (served over the wire by the ADMIN
+``tuning_stats`` op).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.tuning.drift import DriftDetector
+from repro.tuning.knobs import KnobRegistry
+from repro.tuning.whatif import (
+    Prediction,
+    TrainingExample,
+    WhatIfEstimator,
+    workload_feature_vector,
+)
+
+__all__ = ["TuningController"]
+
+#: Controller states (the README's state diagram).
+IDLE = "idle"
+TRIAL = "trial"
+
+
+class TuningController:
+    """Propose → gate → trial → commit/rollback over one knob registry.
+
+    Parameters
+    ----------
+    registry:
+        The knob surface to tune (see :mod:`repro.tuning.knobs`).
+    estimator:
+        The what-if model.  May start unfitted; the controller trains it
+        from completed observation windows and refits incrementally.  Knobs
+        outside ``estimator.knob_names`` are surfaced but never moved.
+    detector:
+        Drift detection; defaults to a bounds-histogram detector over
+        ``domain`` with the controller's window size.
+    domain:
+        Attribute domain for feature normalization.
+    objective:
+        ``"io_bytes"`` (default) or ``"latency"`` — which predicted cost the
+        proposal minimizes and which observed cost gates the trial.
+    window:
+        Queries per observation window.
+    kappa:
+        Uncertainty gate: apply only when ``gain > kappa * std``.
+    min_gain_fraction:
+        Relative-gain floor: predicted gain must also exceed this fraction
+        of the predicted baseline cost.
+    regress_tolerance:
+        Rollback trigger: observed trial cost above
+        ``baseline * (1 + tolerance)`` restores the snapshot.
+    cooldown_windows:
+        Windows to sit out after a rollback or rejected proposal.
+    refit_every:
+        Refit the estimator after this many fresh examples.
+    max_examples:
+        Online-example cap (oldest dropped first; offline sweep examples
+        count too).
+    """
+
+    def __init__(
+        self,
+        registry: KnobRegistry,
+        estimator: WhatIfEstimator,
+        *,
+        detector: DriftDetector | None = None,
+        domain: tuple[float, float] = (0.0, 1.0),
+        objective: str = "io_bytes",
+        window: int = 64,
+        kappa: float = 1.0,
+        min_gain_fraction: float = 0.02,
+        regress_tolerance: float = 0.10,
+        cooldown_windows: int = 2,
+        refit_every: int = 4,
+        max_examples: int = 512,
+        history: int = 64,
+    ) -> None:
+        if objective not in ("io_bytes", "latency"):
+            raise ValueError(f"objective must be io_bytes or latency, got {objective!r}")
+        if window < 4:
+            raise ValueError(f"window must be >= 4, got {window}")
+        self.registry = registry
+        self.estimator = estimator
+        self.domain = (float(domain[0]), float(domain[1]))
+        self.objective = objective
+        self.window = int(window)
+        self.kappa = float(kappa)
+        self.min_gain_fraction = float(min_gain_fraction)
+        self.regress_tolerance = float(regress_tolerance)
+        self.cooldown_windows = int(cooldown_windows)
+        self.refit_every = int(refit_every)
+        self.max_examples = int(max_examples)
+        self.detector = detector or DriftDetector(
+            domain=self.domain, window=self.window
+        )
+
+        self.state = IDLE
+        self._bounds: list[tuple[float, float]] = []
+        self._cost_sum = 0.0
+        self._latency_sum = 0.0
+        self._count = 0
+        self._last_features: np.ndarray | None = None
+        self._last_window_cost: float | None = None
+        self._baseline_cost: float | None = None
+        self._snapshot: dict[str, float] | None = None
+        self._pending_move: dict[str, Any] | None = None
+        self._cooldown = 0
+        self._climbing = False
+        self._unfitted_examples = 0
+        self._windows = 0
+        self._moves: deque[dict[str, Any]] = deque(maxlen=int(history))
+        self._counters = {
+            "observed_queries": 0,
+            "windows": 0,
+            "drift_events": 0,
+            "proposals": 0,
+            "applied": 0,
+            "committed": 0,
+            "rollbacks": 0,
+            "rejected_uncertain": 0,
+            "rejected_no_gain": 0,
+            "skipped_untrained": 0,
+            "refits": 0,
+        }
+
+    # -- observation ----------------------------------------------------------
+
+    def observe(
+        self,
+        low: float,
+        high: float,
+        cost: float,
+        *,
+        latency_s: float | None = None,
+    ) -> None:
+        """Feed one executed query: its bounds and its observed cost.
+
+        ``cost`` is whatever the caller accounts per query — typically the
+        adaptive accountant's IO-bytes delta.  Every ``window`` observations
+        the controller completes a window (train, detect, maybe move).
+        """
+        self._counters["observed_queries"] += 1
+        self._bounds.append((float(low), float(high)))
+        self._cost_sum += float(cost)
+        if latency_s is not None:
+            self._latency_sum += float(latency_s)
+        self._count += 1
+        self.detector.observe(low, high)
+        if self._count >= self.window:
+            bounds, self._bounds = self._bounds, []
+            cost_mean = self._cost_sum / self._count
+            latency_mean = (
+                self._latency_sum / self._count if self._latency_sum > 0.0 else None
+            )
+            self._cost_sum = self._latency_sum = 0.0
+            self._count = 0
+            self._complete_window(bounds, cost_mean, latency_mean)
+
+    def observe_window(
+        self,
+        bounds: Sequence[tuple[float, float]],
+        cost_per_query: float,
+        *,
+        latency_s: float | None = None,
+        shares: Sequence[float] | None = None,
+    ) -> None:
+        """Feed one pre-aggregated window (the server's pulse-task path).
+
+        ``shares`` — the router's live per-cluster traffic shares — switches
+        drift detection to the share-vector signal for this window.
+        """
+        if not bounds:
+            return
+        self.detector.observe_many(bounds)
+        self._counters["observed_queries"] += len(bounds)
+        self._complete_window(
+            list(bounds), float(cost_per_query), latency_s, shares=shares
+        )
+
+    # -- the per-window loop ---------------------------------------------------
+
+    def _complete_window(
+        self,
+        bounds: list[tuple[float, float]],
+        cost: float,
+        latency_s: float | None,
+        *,
+        shares: Sequence[float] | None = None,
+    ) -> None:
+        self._windows += 1
+        self._counters["windows"] += 1
+        features = workload_feature_vector(
+            [low for low, _ in bounds],
+            [high for _, high in bounds],
+            domain_low=self.domain[0],
+            domain_high=self.domain[1],
+        )
+        self._last_features = features
+        self._train(features, cost, latency_s)
+
+        if self.state == TRIAL:
+            self._judge_trial(cost)
+            self._last_window_cost = cost
+            return
+        self._last_window_cost = cost
+
+        report = self.detector.check(shares=shares)
+        if report.drifted:
+            self._counters["drift_events"] += 1
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return
+        if report.drifted or self._climbing:
+            self.maybe_propose()
+
+    def _train(
+        self, features: np.ndarray, cost: float, latency_s: float | None
+    ) -> None:
+        """Fold the window into the estimator (bounded, periodically refit)."""
+        knobs = self.registry.knobs()
+        self.estimator.add(TrainingExample(
+            knobs=knobs, workload=features, io_bytes=cost, latency_s=latency_s
+        ))
+        if len(self.estimator.examples) > self.max_examples:
+            del self.estimator.examples[: -self.max_examples]
+        self._unfitted_examples += 1
+        if self._unfitted_examples >= self.refit_every and len(
+            self.estimator.examples
+        ) >= 3:
+            self.estimator.fit()
+            self._counters["refits"] += 1
+            self._unfitted_examples = 0
+
+    # -- proposal -------------------------------------------------------------
+
+    def maybe_propose(self, *, force: bool = False) -> dict[str, Any] | None:
+        """Price every one-knob move and apply the best if it clears the gate.
+
+        Returns the applied move record, or ``None`` (not trained, no
+        candidate, or gated out).  ``force=True`` skips the drift/cooldown
+        preconditions — the callers' loop already checked them; tests and
+        operators use it to trigger a tuning step directly.
+        """
+        if self.state == TRIAL:
+            return None
+        if not self.estimator.trained:
+            self._counters["skipped_untrained"] += 1
+            return None
+        if self._last_features is None:
+            return None
+        if not force and self._cooldown > 0:
+            return None
+        features = self._last_features
+        current = self.registry.knobs()
+        movable = [
+            name for name in self.estimator.knob_names if name in self.registry
+        ]
+        if not movable:
+            return None
+        baseline = self._objective(self.estimator.predict(current, features))[0]
+        self._counters["proposals"] += 1
+        best: dict[str, Any] | None = None
+        for name in movable:
+            spec = self.registry.spec(name)
+            for direction in (-1.0, 1.0):
+                candidate = spec.clamp(current[name] + direction * spec.step)
+                if candidate == current[name]:
+                    continue
+                if not self.registry.validate({name: candidate}):
+                    continue
+                predicted, std = self._objective(
+                    self.estimator.predict({**current, name: candidate}, features)
+                )
+                if best is None or predicted < best["predicted"]:
+                    best = {
+                        "knob": name,
+                        "from": current[name],
+                        "to": candidate,
+                        "predicted": predicted,
+                        "uncertainty": std,
+                    }
+        if best is None:
+            self._climbing = False
+            return None
+        gain = baseline - best["predicted"]
+        best["predicted_baseline"] = baseline
+        best["predicted_gain"] = gain
+        if gain <= self.min_gain_fraction * max(baseline, 1e-12):
+            self._counters["rejected_no_gain"] += 1
+            self._climbing = False
+            self._record_move(best, outcome="rejected_no_gain")
+            return None
+        if gain <= self.kappa * best["uncertainty"]:
+            self._counters["rejected_uncertain"] += 1
+            self._climbing = False
+            self._record_move(best, outcome="rejected_uncertain")
+            return None
+        self._snapshot = self.registry.snapshot()
+        self.registry.set_knobs({best["knob"]: best["to"]})
+        self._baseline_cost = self._last_window_cost
+        self._pending_move = best
+        self.state = TRIAL
+        self._counters["applied"] += 1
+        return best
+
+    def _objective(self, prediction: Prediction) -> tuple[float, float]:
+        if self.objective == "latency" and prediction.latency_s is not None:
+            return prediction.latency_s, prediction.latency_std or 0.0
+        return prediction.io_bytes, prediction.io_std
+
+    # -- trial judgment -------------------------------------------------------
+
+    def _judge_trial(self, observed_cost: float) -> None:
+        move = self._pending_move or {}
+        baseline = self._baseline_cost
+        regressed = (
+            baseline is not None
+            and observed_cost > baseline * (1.0 + self.regress_tolerance)
+        )
+        move["observed_baseline"] = baseline
+        move["observed_trial"] = observed_cost
+        if regressed:
+            assert self._snapshot is not None
+            self.registry.set_knobs(self._snapshot)
+            self._counters["rollbacks"] += 1
+            self._cooldown = self.cooldown_windows
+            self._climbing = False
+            self._record_move(move, outcome="rolled_back")
+        else:
+            self._counters["committed"] += 1
+            self._climbing = True  # keep climbing while moves keep paying off
+            self._record_move(move, outcome="committed")
+        self.state = IDLE
+        self._snapshot = None
+        self._pending_move = None
+        self._baseline_cost = None
+
+    def _record_move(self, move: dict[str, Any], *, outcome: str) -> None:
+        self._moves.append({**move, "outcome": outcome, "window": self._windows})
+
+    # -- observability --------------------------------------------------------
+
+    def tuning_stats(self) -> dict[str, Any]:
+        """The controller's full observable state (the ADMIN ``tuning_stats`` op)."""
+        return {
+            "state": self.state,
+            "objective": self.objective,
+            "window": self.window,
+            "kappa": self.kappa,
+            "counters": dict(self._counters),
+            "knobs": self.registry.knobs(),
+            "knob_table": self.registry.table(),
+            "drift": self.detector.stats(),
+            "estimator": self.estimator.stats(),
+            "pending_move": dict(self._pending_move) if self._pending_move else None,
+            "recent_moves": list(self._moves),
+            "climbing": self._climbing,
+            "cooldown_windows_left": self._cooldown,
+        }

@@ -1,0 +1,191 @@
+"""Workload drift detection: has the query mix moved since we last tuned?
+
+Two complementary signals, one detector:
+
+* **Query-bound histograms** — every observed range query drops its center
+  into a fixed-bin histogram over the attribute domain; once a window fills,
+  its normalized histogram is compared to the reference window by total
+  variation distance.  This is the single-engine path (the controller feeds
+  it the bounds it observes).
+* **Router traffic shares** — behind a fleet, the router already maintains
+  per-cluster traffic-share EWMAs (:attr:`Router._shares` via
+  ``router_stats()["shares"]``); :meth:`DriftDetector.observe_shares`
+  compares the live share vector to the one captured at the last drift
+  event.  This is the KnobCF-shaped controller's scale-out drift source.
+
+Both scores live in ``[0, 1]`` (0 = identical mix, 1 = disjoint), so one
+``threshold`` governs either signal.  On a confirmed drift the detector
+re-anchors: the drifted window becomes the new reference, so a persistent
+new mix fires exactly once until the mix moves again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = ["DriftDetector", "DriftReport"]
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """One drift check: the verdict, its score and what was compared."""
+
+    drifted: bool
+    score: float
+    threshold: float
+    source: str  # "bounds" | "shares" | "none"
+    reference_queries: int
+    window_queries: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "drifted": self.drifted,
+            "score": self.score,
+            "threshold": self.threshold,
+            "source": self.source,
+            "reference_queries": self.reference_queries,
+            "window_queries": self.window_queries,
+        }
+
+
+class DriftDetector:
+    """Total-variation drift detection over query centers or traffic shares."""
+
+    def __init__(
+        self,
+        *,
+        domain: tuple[float, float] = (0.0, 1.0),
+        window: int = 64,
+        bins: int = 16,
+        threshold: float = 0.35,
+    ) -> None:
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if bins < 2:
+            raise ValueError(f"bins must be >= 2, got {bins}")
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self.domain = (float(domain[0]), float(domain[1]))
+        self.window = int(window)
+        self.bins = int(bins)
+        self.threshold = float(threshold)
+        self._current = np.zeros(self.bins)
+        self._current_count = 0
+        self._reference: np.ndarray | None = None
+        self._reference_count = 0
+        self._reference_shares: np.ndarray | None = None
+        self._drift_events = 0
+        self._checks = 0
+        self._last_report: DriftReport | None = None
+
+    # -- signal ingestion -----------------------------------------------------
+
+    def observe(self, low: float, high: float) -> None:
+        """Drop one range query's center into the current window histogram."""
+        domain_low, domain_high = self.domain
+        span = max(domain_high - domain_low, 1e-12)
+        center = ((float(low) + float(high)) * 0.5 - domain_low) / span
+        index = int(np.clip(center * self.bins, 0, self.bins - 1))
+        self._current[index] += 1.0
+        self._current_count += 1
+
+    def observe_many(self, bounds: Sequence[tuple[float, float]]) -> None:
+        for low, high in bounds:
+            self.observe(low, high)
+
+    # -- the verdict ----------------------------------------------------------
+
+    @property
+    def window_full(self) -> bool:
+        return self._current_count >= self.window
+
+    def check(self, *, shares: Sequence[float] | None = None) -> DriftReport:
+        """Compare the current window (or ``shares``) to the reference.
+
+        With ``shares`` given (the router's live per-cluster traffic-share
+        EWMAs) the share vector is the signal and the histogram path is
+        bypassed.  Without it, the check is a no-op verdict until the
+        current window has ``window`` observations; a full window either
+        becomes the first reference or is scored against it.  Either way a
+        drift verdict re-anchors the reference on the drifted mix.
+        """
+        self._checks += 1
+        if shares is not None:
+            report = self._check_shares(np.asarray(shares, dtype=np.float64))
+        else:
+            report = self._check_bounds()
+        if report.drifted:
+            self._drift_events += 1
+        self._last_report = report
+        return report
+
+    def _check_bounds(self) -> DriftReport:
+        if not self.window_full:
+            return DriftReport(
+                False, 0.0, self.threshold, "none",
+                self._reference_count, self._current_count,
+            )
+        window = self._current / self._current.sum()
+        if self._reference is None:
+            self._anchor(window)
+            return DriftReport(
+                False, 0.0, self.threshold, "bounds",
+                self._reference_count, 0,
+            )
+        score = 0.5 * float(np.abs(window - self._reference).sum())
+        drifted = score > self.threshold
+        count = self._current_count
+        if drifted:
+            self._anchor(window)
+        else:
+            # Fold the window into the reference (slow mix evolution is not
+            # drift) and start a fresh window.
+            self._reference = 0.75 * self._reference + 0.25 * window
+            self._reference = self._reference / self._reference.sum()
+            self._current = np.zeros(self.bins)
+            self._current_count = 0
+        return DriftReport(
+            drifted, score, self.threshold, "bounds",
+            self._reference_count, count,
+        )
+
+    def _check_shares(self, shares: np.ndarray) -> DriftReport:
+        total = float(shares.sum())
+        normalized = shares / total if total > 0 else shares
+        if self._reference_shares is None or len(self._reference_shares) != len(
+            normalized
+        ):
+            self._reference_shares = normalized.copy()
+            return DriftReport(False, 0.0, self.threshold, "shares", len(normalized), 0)
+        score = 0.5 * float(np.abs(normalized - self._reference_shares).sum())
+        drifted = score > self.threshold
+        if drifted:
+            self._reference_shares = normalized.copy()
+        return DriftReport(
+            drifted, score, self.threshold, "shares",
+            len(normalized), len(normalized),
+        )
+
+    def _anchor(self, window: np.ndarray) -> None:
+        self._reference = window.copy()
+        self._reference_count = self._current_count
+        self._current = np.zeros(self.bins)
+        self._current_count = 0
+
+    # -- observability --------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "window": self.window,
+            "bins": self.bins,
+            "threshold": self.threshold,
+            "checks": self._checks,
+            "drift_events": self._drift_events,
+            "window_queries": self._current_count,
+            "has_reference": self._reference is not None
+            or self._reference_shares is not None,
+            "last": self._last_report.as_dict() if self._last_report else None,
+        }

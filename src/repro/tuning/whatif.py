@@ -1,0 +1,364 @@
+"""IWEK-style interpretable what-if estimation for knob changes.
+
+Before the controller moves a knob it asks "what would this setting cost?".
+The estimator answering that question is deliberately small and inspectable
+(the IWEK argument: an interpretable model a DBA can audit beats a black box
+for knob tuning): a bagged linear regressor over (knob values, workload
+features) fit by ridge-regularized least squares, predicting log IO bytes
+per query and log warm latency per query.  The bag — ``n_models`` fits on
+bootstrap resamples of the training set — yields a per-prediction
+uncertainty (the spread of the bag's answers), which is exactly the gate the
+KnobCF-shaped controller needs: apply a move only when the predicted gain
+clears the uncertainty band.
+
+Training examples come from two sources, both first-class here:
+
+* offline sweeps — :func:`simulation_sweep_examples` replays a workload
+  through :func:`repro.simulation.runner.run_single` over a grid of knob
+  settings and records the observed per-query IO (the ``run_grid`` family's
+  accounting);
+* online observation — the controller feeds each completed evaluation
+  window back as an example (knob snapshot, window features, observed cost),
+  so the model keeps learning the engine it actually runs on.
+
+Numpy-only by design (same discipline as the in-repo k-means): no scipy, no
+sklearn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.cluster.workload_clustering import query_features
+
+__all__ = [
+    "Prediction",
+    "TrainingExample",
+    "WhatIfEstimator",
+    "WORKLOAD_FEATURE_NAMES",
+    "rank_correlation",
+    "simulation_sweep_examples",
+    "workload_feature_vector",
+]
+
+#: Interpretable summary of one query window, in feature order.
+WORKLOAD_FEATURE_NAMES = ("center_mean", "center_std", "width_mean", "width_std")
+
+
+def workload_feature_vector(
+    lows: Sequence[float] | np.ndarray,
+    highs: Sequence[float] | np.ndarray,
+    *,
+    domain_low: float,
+    domain_high: float,
+) -> np.ndarray:
+    """Summarise a window of range queries as ``WORKLOAD_FEATURE_NAMES``.
+
+    Built on the same per-query ``(center, width)`` normalization the
+    workload clustering uses, so the estimator and the router describe
+    workloads in one vocabulary.
+    """
+    lows = np.asarray(lows, dtype=np.float64)
+    if lows.size == 0:
+        return np.zeros(len(WORKLOAD_FEATURE_NAMES))
+    features = query_features(
+        lows, np.asarray(highs, dtype=np.float64),
+        domain_low=domain_low, domain_high=domain_high,
+    )
+    centers, widths = features[:, 0], features[:, 1]
+    return np.array([
+        float(centers.mean()),
+        float(centers.std()),
+        float(widths.mean()),
+        float(widths.std()),
+    ])
+
+
+@dataclass(frozen=True)
+class TrainingExample:
+    """One observed (configuration, workload) -> cost measurement."""
+
+    knobs: dict[str, float]
+    workload: np.ndarray  # WORKLOAD_FEATURE_NAMES vector
+    io_bytes: float  # mean IO bytes per query under this configuration
+    latency_s: float | None = None  # mean warm latency per query (optional)
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A what-if answer with its uncertainty (bag spread, same units)."""
+
+    io_bytes: float
+    io_std: float
+    latency_s: float | None
+    latency_std: float | None
+
+
+@dataclass
+class _Bag:
+    """One target's bagged ridge fit: coefficient matrix, one row per model."""
+
+    weights: np.ndarray  # (n_models, n_features)
+
+    def predict(self, row: np.ndarray) -> tuple[float, float]:
+        answers = self.weights @ row
+        return float(answers.mean()), float(answers.std())
+
+
+class WhatIfEstimator:
+    """Bagged ridge regression over (knob values, workload features).
+
+    Targets are fit in log space (``log1p``) — IO per query spans orders of
+    magnitude between a fitting and a thrashing configuration, and ranking
+    (all the controller needs) is invariant under the monotone transform —
+    and predictions are reported back in natural units.  Knob columns are
+    z-scored from the training set; each knob additionally contributes a
+    quadratic term so one-knob sweet spots (not just monotone trends) are
+    representable while every coefficient stays attributable to a named
+    feature.
+    """
+
+    def __init__(
+        self,
+        knob_names: Sequence[str],
+        *,
+        n_models: int = 12,
+        ridge: float = 1e-2,
+        seed: int | None = 0,
+    ) -> None:
+        if not knob_names:
+            raise ValueError("WhatIfEstimator needs at least one knob name")
+        self.knob_names = tuple(knob_names)
+        self.n_models = int(n_models)
+        self.ridge = float(ridge)
+        self.seed = seed
+        self.examples: list[TrainingExample] = []
+        self._scale_mean: np.ndarray | None = None
+        self._scale_std: np.ndarray | None = None
+        self._io_bag: _Bag | None = None
+        self._latency_bag: _Bag | None = None
+
+    # -- feature construction ------------------------------------------------
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        return (
+            "intercept",
+            *self.knob_names,
+            *(f"{name}^2" for name in self.knob_names),
+            *WORKLOAD_FEATURE_NAMES,
+        )
+
+    def _raw_row(self, knobs: dict[str, float], workload: np.ndarray) -> np.ndarray:
+        missing = [name for name in self.knob_names if name not in knobs]
+        if missing:
+            raise ValueError(f"missing knob values for {missing}")
+        knob_values = np.array([float(knobs[name]) for name in self.knob_names])
+        workload = np.asarray(workload, dtype=np.float64)
+        if workload.shape != (len(WORKLOAD_FEATURE_NAMES),):
+            raise ValueError(
+                f"workload feature vector must have shape "
+                f"({len(WORKLOAD_FEATURE_NAMES)},), got {workload.shape}"
+            )
+        return np.concatenate([knob_values, workload])
+
+    def _design_row(self, raw: np.ndarray) -> np.ndarray:
+        assert self._scale_mean is not None and self._scale_std is not None
+        n_knobs = len(self.knob_names)
+        scaled = (raw - self._scale_mean) / self._scale_std
+        knobs = scaled[:n_knobs]
+        return np.concatenate([[1.0], knobs, knobs**2, scaled[n_knobs:]])
+
+    # -- training ------------------------------------------------------------
+
+    def add(self, example: TrainingExample) -> None:
+        """Record one example (call :meth:`fit` to fold it into the model)."""
+        self.examples.append(example)
+
+    def extend(self, examples: Iterable[TrainingExample]) -> None:
+        self.examples.extend(examples)
+
+    @property
+    def trained(self) -> bool:
+        return self._io_bag is not None
+
+    def fit(self, examples: Iterable[TrainingExample] | None = None) -> "WhatIfEstimator":
+        """(Re)fit the bag on ``examples`` (appended to any recorded earlier)."""
+        if examples is not None:
+            self.extend(examples)
+        if len(self.examples) < 3:
+            raise ValueError(
+                f"need >= 3 training examples to fit, have {len(self.examples)}"
+            )
+        raw = np.vstack([
+            self._raw_row(example.knobs, example.workload)
+            for example in self.examples
+        ])
+        self._scale_mean = raw.mean(axis=0)
+        std = raw.std(axis=0)
+        self._scale_std = np.where(std > 1e-12, std, 1.0)
+        design = np.vstack([self._design_row(row) for row in raw])
+        io_target = np.log1p(np.array([e.io_bytes for e in self.examples]))
+        self._io_bag = self._fit_bag(design, io_target)
+        latencies = [e.latency_s for e in self.examples]
+        if all(latency is not None for latency in latencies):
+            latency_target = np.log1p(np.array(latencies, dtype=np.float64) * 1e6)
+            self._latency_bag = self._fit_bag(design, latency_target)
+        else:
+            self._latency_bag = None
+        return self
+
+    def _fit_bag(self, design: np.ndarray, target: np.ndarray) -> _Bag:
+        rng = np.random.default_rng(self.seed)
+        n_rows, n_features = design.shape
+        penalty = self.ridge * np.eye(n_features)
+        penalty[0, 0] = 0.0  # never shrink the intercept
+        weights = np.empty((self.n_models, n_features))
+        for index in range(self.n_models):
+            rows = (
+                np.arange(n_rows)
+                if index == 0  # model 0 sees the full data (stable center)
+                else rng.integers(0, n_rows, size=n_rows)
+            )
+            x, y = design[rows], target[rows]
+            weights[index] = np.linalg.solve(x.T @ x + penalty, x.T @ y)
+        return _Bag(weights)
+
+    # -- prediction ----------------------------------------------------------
+
+    def predict(self, knobs: dict[str, float], workload: np.ndarray) -> Prediction:
+        """What-if: expected cost of running ``workload`` under ``knobs``.
+
+        Uncertainties are the bag's spread mapped through the same inverse
+        transform as the mean, so gain and uncertainty share units.
+        """
+        if self._io_bag is None:
+            raise RuntimeError("estimator is not fitted (call fit() first)")
+        row = self._design_row(self._raw_row(knobs, workload))
+        io_log, io_log_std = self._io_bag.predict(row)
+        io_bytes = float(np.expm1(np.clip(io_log, 0.0, 50.0)))
+        io_std = abs(float(np.expm1(np.clip(io_log + io_log_std, 0.0, 50.0))) - io_bytes)
+        latency_s = latency_std = None
+        if self._latency_bag is not None:
+            lat_log, lat_log_std = self._latency_bag.predict(row)
+            latency_us = float(np.expm1(np.clip(lat_log, 0.0, 50.0)))
+            latency_s = latency_us / 1e6
+            latency_std = abs(
+                float(np.expm1(np.clip(lat_log + lat_log_std, 0.0, 50.0))) - latency_us
+            ) / 1e6
+        return Prediction(io_bytes, io_std, latency_s, latency_std)
+
+    def explain(self) -> dict[str, float]:
+        """Mean IO-model coefficient per named feature (the IWEK payoff).
+
+        Coefficients act on z-scored features in log-IO space: the sign says
+        which direction moves IO, the magnitude ranks which knobs matter.
+        """
+        if self._io_bag is None:
+            raise RuntimeError("estimator is not fitted (call fit() first)")
+        means = self._io_bag.weights.mean(axis=0)
+        return dict(zip(self.feature_names, (float(value) for value in means)))
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "trained": self.trained,
+            "examples": len(self.examples),
+            "knobs": list(self.knob_names),
+            "n_models": self.n_models,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Validation and offline training helpers
+# ---------------------------------------------------------------------------
+
+
+def rank_correlation(predicted: Sequence[float], observed: Sequence[float]) -> float:
+    """Spearman rank correlation (average ranks for ties), numpy-only."""
+    predicted = np.asarray(predicted, dtype=np.float64)
+    observed = np.asarray(observed, dtype=np.float64)
+    if predicted.shape != observed.shape or predicted.size < 2:
+        raise ValueError("need two same-length series of >= 2 values")
+    p_ranks = _average_ranks(predicted)
+    o_ranks = _average_ranks(observed)
+    p_centered = p_ranks - p_ranks.mean()
+    o_centered = o_ranks - o_ranks.mean()
+    denominator = float(
+        np.sqrt((p_centered**2).sum() * (o_centered**2).sum())
+    )
+    if denominator == 0.0:
+        return 0.0
+    return float((p_centered * o_centered).sum() / denominator)
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    """1-based ranks with ties sharing their average rank."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=np.float64)
+    ranks[order] = np.arange(1, values.size + 1, dtype=np.float64)
+    for value in np.unique(values):
+        mask = values == value
+        if mask.sum() > 1:
+            ranks[mask] = ranks[mask].mean()
+    return ranks
+
+
+def simulation_sweep_examples(
+    workloads: Sequence[Any],
+    knob_grid: Sequence[dict[str, float]],
+    *,
+    strategy: str = "segmentation",
+    model_name: str = "apm",
+    column_size: int = 20_000,
+    domain_size: int = 200_000,
+    seed: int | None = 17,
+) -> list[TrainingExample]:
+    """Offline training sweep through the paper's simulation runner.
+
+    Replays every workload under every knob setting in ``knob_grid`` (dicts
+    with ``apm_m_min`` / ``apm_m_max``) through
+    :func:`repro.simulation.runner.run_single` — the same engine-accurate
+    accounting ``run_grid`` uses — and returns one example per (workload,
+    setting) with the observed mean per-query IO bytes and mean per-query
+    selection+adaptation seconds.
+    """
+    from repro.simulation.runner import run_single
+    from repro.workloads.generators import make_column
+
+    values = make_column(column_size, domain_size, seed=seed)
+    examples: list[TrainingExample] = []
+    for workload in workloads:
+        domain_low, domain_high = workload.domain
+        features = workload_feature_vector(
+            [query.low for query in workload.queries],
+            [query.high for query in workload.queries],
+            domain_low=domain_low,
+            domain_high=domain_high,
+        )
+        for knobs in knob_grid:
+            result = run_single(
+                workload,
+                strategy=strategy,
+                model_name=model_name,
+                values=values.copy(),
+                column_size=column_size,
+                domain_size=domain_size,
+                m_min=knobs["apm_m_min"],
+                m_max=knobs["apm_m_max"],
+                seed=seed,
+            )
+            reads = result.reads_series()
+            seconds = [
+                record.selection_seconds + record.adaptation_seconds
+                for record in result.log
+            ]
+            examples.append(TrainingExample(
+                knobs=dict(knobs),
+                workload=features,
+                io_bytes=float(np.mean(reads)) if reads else 0.0,
+                latency_s=float(np.mean(seconds)) if seconds else None,
+            ))
+    return examples

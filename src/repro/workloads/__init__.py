@@ -11,10 +11,13 @@ from repro.workloads.query import RangeQuery, Workload
 from repro.workloads.generators import (
     WorkloadSpec,
     changing_workload,
+    drifting_mix_workload,
     hotspot_workload,
+    mixed_workload,
     multimodal_workload,
     make_column,
     uniform_workload,
+    update_heavy_workload,
     zipf_workload,
 )
 from repro.workloads.replay import load_workload, save_workload
@@ -30,10 +33,13 @@ __all__ = [
     "Workload",
     "WorkloadSpec",
     "changing_workload",
+    "drifting_mix_workload",
     "hotspot_workload",
     "make_column",
+    "mixed_workload",
     "multimodal_workload",
     "uniform_workload",
+    "update_heavy_workload",
     "zipf_workload",
     "load_workload",
     "save_workload",

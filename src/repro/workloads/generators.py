@@ -30,6 +30,7 @@ class WorkloadSpec:
 
     name: str
     distribution: str  # "uniform" | "zipf" | "changing" | "hotspot" | "multimodal"
+    #   | "update_heavy" | "mixed" | "drifting_mix"
     selectivity: float
     n_queries: int
     zipf_exponent: float = 1.0
@@ -60,6 +61,18 @@ class WorkloadSpec:
             )
         if self.distribution == "multimodal":
             return multimodal_workload(
+                self.n_queries, domain, self.selectivity, seed=self.seed, name=self.name
+            )
+        if self.distribution == "update_heavy":
+            return update_heavy_workload(
+                self.n_queries, domain, self.selectivity, seed=self.seed, name=self.name
+            )
+        if self.distribution == "mixed":
+            return mixed_workload(
+                self.n_queries, domain, self.selectivity, seed=self.seed, name=self.name
+            )
+        if self.distribution == "drifting_mix":
+            return drifting_mix_workload(
                 self.n_queries, domain, self.selectivity, seed=self.seed, name=self.name
             )
         raise ValueError(f"unknown workload distribution {self.distribution!r}")
@@ -341,4 +354,155 @@ def changing_workload(
             f"{phase_fraction:.1%} of the domain"
         ),
         metadata={"n_phases": n_phases, "phase_fraction": phase_fraction},
+    )
+
+
+def update_heavy_workload(
+    n_queries: int,
+    domain: tuple[float, float],
+    selectivity: float,
+    *,
+    update_fraction: float = 0.7,
+    n_hotspots: int = 2,
+    hotspot_fraction: float = 0.02,
+    seed: int | None = None,
+    name: str = "update-heavy",
+) -> Workload:
+    """A mostly-write stream: hot-area range touches, most marked ``update``.
+
+    The query *positions* follow the hotspot pattern (updates concentrate
+    where the data is hot), but each query carries an operation label in
+    ``metadata["ops"]`` — ``"update"`` with probability ``update_fraction``,
+    else ``"read"``.  An update of ``[low, high)`` models a delete+reinsert
+    over that range, which is what stresses segment rematerialization and
+    the replication storage budget; executors that only understand reads
+    can replay the stream as-is (every query is still a valid range probe).
+    """
+    ensure_positive("n_queries", n_queries)
+    ensure_in_range("update_fraction", update_fraction, 0.0, 1.0)
+    base = hotspot_workload(
+        n_queries,
+        domain,
+        selectivity,
+        n_hotspots=n_hotspots,
+        hotspot_fraction=hotspot_fraction,
+        seed=seed,
+        name=name,
+    )
+    rng = make_rng(None if seed is None else seed + 104_729)
+    ops = [
+        "update" if rng.random() < update_fraction else "read"
+        for _ in range(n_queries)
+    ]
+    return Workload(
+        name=name,
+        queries=base.queries,
+        domain=domain,
+        selectivity=selectivity,
+        description=(
+            f"{n_queries} hot-area range touches, {update_fraction:.0%} marked "
+            f"update (delete+reinsert over the range)"
+        ),
+        metadata={
+            **base.metadata,
+            "ops": ops,
+            "op_mix": {op: ops.count(op) for op in ("read", "update")},
+            "update_fraction": update_fraction,
+        },
+    )
+
+
+def mixed_workload(
+    n_queries: int,
+    domain: tuple[float, float],
+    selectivity: float,
+    *,
+    write_fraction: float = 0.3,
+    seed: int | None = None,
+    name: str = "mixed",
+) -> Workload:
+    """A mixed read/write stream: uniform range reads with interleaved writes.
+
+    Query positions are uniform over the domain; each query is labelled in
+    ``metadata["ops"]`` — ``"read"`` with probability ``1 - write_fraction``,
+    else an even split of ``"insert"`` / ``"delete"`` over the query's range.
+    The tuner's training loop uses this to learn how write pressure shifts
+    the IO-optimal knob settings away from the read-only optimum.
+    """
+    ensure_positive("n_queries", n_queries)
+    ensure_in_range("write_fraction", write_fraction, 0.0, 1.0)
+    base = uniform_workload(n_queries, domain, selectivity, seed=seed, name=name)
+    rng = make_rng(None if seed is None else seed + 15_485_863)
+    ops: list[str] = []
+    for _ in range(n_queries):
+        if rng.random() < write_fraction:
+            ops.append("insert" if rng.random() < 0.5 else "delete")
+        else:
+            ops.append("read")
+    return Workload(
+        name=name,
+        queries=base.queries,
+        domain=domain,
+        selectivity=selectivity,
+        description=(
+            f"{n_queries} uniform range queries, {write_fraction:.0%} writes "
+            f"(even insert/delete split)"
+        ),
+        metadata={
+            "ops": ops,
+            "op_mix": {op: ops.count(op) for op in ("read", "insert", "delete")},
+            "write_fraction": write_fraction,
+        },
+    )
+
+
+def drifting_mix_workload(
+    n_queries: int,
+    domain: tuple[float, float],
+    selectivity: float,
+    *,
+    phases: tuple[str, ...] = ("hotspot", "uniform", "multimodal"),
+    seed: int | None = None,
+    name: str = "drifting-mix",
+) -> Workload:
+    """The tuner's evaluation stream: the *distribution family* drifts.
+
+    Unlike :func:`changing_workload` (same family, moving point of access),
+    each phase here comes from a different generator — by default hotspot →
+    uniform → multimodal — so both the access locality *and* the shape of
+    the workload-feature vector shift at every boundary.  A drift detector
+    should fire at each phase edge; a fixed-knob engine tuned for one phase
+    is mis-tuned for the next.  ``metadata["phase_boundaries"]`` carries the
+    query index where each phase starts; per-phase sub-seeds derive from
+    ``seed`` so the stream is reproducible through :class:`WorkloadSpec`.
+    """
+    ensure_positive("n_queries", n_queries)
+    if not phases:
+        raise ValueError("phases must name at least one distribution")
+    per_phase = int(np.ceil(n_queries / len(phases)))
+    queries: list[RangeQuery] = []
+    boundaries: list[int] = []
+    for position, distribution in enumerate(phases):
+        boundaries.append(len(queries))
+        remaining = n_queries - len(queries)
+        if remaining <= 0:
+            break
+        spec = WorkloadSpec(
+            name=f"{name}:{distribution}",
+            distribution=distribution,
+            selectivity=selectivity,
+            n_queries=min(per_phase, remaining),
+            seed=None if seed is None else seed + 31 * (position + 1),
+        )
+        queries.extend(spec.generate(domain).queries)
+    return Workload(
+        name=name,
+        queries=queries,
+        domain=domain,
+        selectivity=selectivity,
+        description=(
+            f"{n_queries} range queries drifting across distribution families "
+            f"{' → '.join(phases)}"
+        ),
+        metadata={"phases": list(phases), "phase_boundaries": boundaries},
     )

@@ -224,6 +224,59 @@ class TestRetune:
             report = router.retune()
             assert report["retuned"] and report["improved"]
 
+    def test_cooldown_refuses_back_to_back_retunes(self):
+        with Router(build_database(), 2, n_clusters=4, seed=0) as router:
+            prepared = router.prepare_statement(SQL)
+            workload = changing_workload(120, DOMAIN, 0.005, n_phases=4, seed=6)
+            for low, high in bounds_of(workload):
+                router.execute_prepared(prepared, (low, high))
+            assert router.retune()["retuned"]
+            refused = router.retune()  # within the 2 s default cooldown
+            assert refused["retuned"] is False
+            assert refused["reason"] == "cooldown"
+            assert refused["elapsed_s"] < refused["cooldown_s"]
+            # force=True is the operator escape hatch.
+            assert router.retune(force=True)["retuned"]
+
+    def test_hysteresis_requires_fresh_routes(self):
+        database = build_database()
+        with Router(
+            database, 2, n_clusters=4, seed=0,
+            retune_cooldown_s=0.0, retune_min_new_routes=40,
+        ) as router:
+            prepared = router.prepare_statement(SQL)
+            workload = changing_workload(120, DOMAIN, 0.005, n_phases=4, seed=6)
+            for low, high in bounds_of(workload):
+                router.execute_prepared(prepared, (low, high))
+            assert router.retune()["retuned"]
+            refused = router.retune()  # zero new routes since the last one
+            assert refused["retuned"] is False
+            assert refused["reason"] == "hysteresis"
+            for low, high in bounds_of(workload)[:40]:
+                router.execute_prepared(prepared, (low, high))
+            assert router.retune()["retuned"]
+
+    def test_retune_history_records_every_attempt(self):
+        with Router(build_database(), 2, n_clusters=4, seed=0) as router:
+            prepared = router.prepare_statement(SQL)
+            workload = changing_workload(120, DOMAIN, 0.005, n_phases=4, seed=6)
+            for low, high in bounds_of(workload):
+                router.execute_prepared(prepared, (low, high))
+            router.retune()
+            router.retune()  # refused by cooldown
+            stats = router.router_stats()
+            history = stats["retune_history"]
+            assert [entry["retuned"] for entry in history] == [True, False]
+            assert "final_cost_bytes" in history[0]
+            assert history[1]["reason"] == "cooldown"
+            guard = stats["retune_guard"]
+            assert guard["cooldown_s"] == 2.0
+            assert guard["routed_since_last_retune"] == 0
+
+    def test_invalid_cooldown_rejected(self):
+        with pytest.raises(ValueError, match="retune_cooldown_s"):
+            Router(build_database(), 1, retune_cooldown_s=-1.0)
+
     def test_retune_is_deterministic_for_fixed_seed(self):
         def run():
             database = build_database()

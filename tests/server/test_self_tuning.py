@@ -1,0 +1,151 @@
+"""Self-tuning over the wire: knobs / set_knobs / tuning_stats admin ops.
+
+Same harness as the rest of the server suite: each test runs a real
+:class:`ReproServer` on an ephemeral port inside its own ``asyncio.run``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+import repro.aio
+from repro.api.exceptions import ProgrammingError
+from repro.engine.database import Database
+from repro.server import ReproServer
+from repro.util.units import KB
+
+SQL = "SELECT objid FROM p WHERE ra BETWEEN ? AND ?"
+
+
+def run(main):
+    return asyncio.run(main())
+
+
+def adaptive_database(n_rows: int = 4_000) -> Database:
+    rng = np.random.default_rng(17)
+    database = Database()
+    database.create_table("p", {"objid": "int64", "ra": "float64"})
+    database.bulk_load(
+        "p",
+        {
+            "objid": np.arange(n_rows, dtype=np.int64),
+            "ra": rng.uniform(0.0, 360.0, size=n_rows),
+        },
+    )
+    database.enable_adaptive("p", "ra", model="apm", m_min=1 * KB, m_max=4 * KB)
+    return database
+
+
+class TestKnobOps:
+    def test_knob_table_over_the_wire(self):
+        async def go():
+            async with ReproServer(adaptive_database(), port=0) as server:
+                connection = await repro.aio.connect(*server.address)
+                rows = await connection.admin.knobs()
+                by_name = {row["name"]: row for row in rows}
+                # Engine-layer and server-layer knobs in one table.
+                assert by_name["apm_m_min"]["layer"] == "storage-model"
+                assert by_name["apm_m_min"]["value"] == 1 * KB
+                assert by_name["batch_window_us"]["layer"] == "server"
+                assert {"default", "low", "high", "step"} <= set(by_name["max_wave"])
+                await connection.close()
+
+        run(go)
+
+    def test_set_knobs_applies_live(self):
+        async def go():
+            database = adaptive_database()
+            async with ReproServer(database, port=0) as server:
+                connection = await repro.aio.connect(*server.address)
+                applied = await connection.admin.set_knobs(
+                    {"apm_m_min": 2 * KB, "batch_window_us": 0.0}
+                )
+                assert applied["apm_m_min"] == 2 * KB
+                model = database.bpm.handles()[0].adaptive.model
+                assert model.m_min == 2 * KB
+                assert server.admission.batch_window_us == 0.0
+                await connection.close()
+
+        run(go)
+
+    def test_invalid_set_knobs_rejected_without_side_effects(self):
+        async def go():
+            database = adaptive_database()
+            async with ReproServer(database, port=0) as server:
+                connection = await repro.aio.connect(*server.address)
+                with pytest.raises(ProgrammingError, match="apm_m_max"):
+                    # Violates the m_min < m_max constraint.
+                    await connection.admin.set_knobs({"apm_m_min": 8 * KB})
+                with pytest.raises(ProgrammingError):
+                    await connection.admin.set_knobs({"no_such_knob": 1.0})
+                model = database.bpm.handles()[0].adaptive.model
+                assert model.m_min == 1 * KB  # untouched
+                await connection.close()
+
+        run(go)
+
+    def test_tuning_stats_without_controller(self):
+        async def go():
+            async with ReproServer(adaptive_database(), port=0) as server:
+                connection = await repro.aio.connect(*server.address)
+                stats = await connection.admin.tuning_stats()
+                assert stats["enabled"] is False
+                assert stats["state"] is None
+                assert any(
+                    row["name"] == "apm_m_min" for row in stats["knob_table"]
+                )
+                await connection.close()
+
+        run(go)
+
+
+class TestSelfTuningServer:
+    def test_pulse_feeds_controller_and_answers_stay_correct(self):
+        async def go():
+            database = adaptive_database()
+            async with ReproServer(
+                database, port=0, self_tuning=True,
+                tuning={"pulse_s": 0.05, "window": 8},
+            ) as server:
+                connection = await repro.aio.connect(*server.address)
+                cursor = connection.cursor()
+                rng = np.random.default_rng(3)
+                for _ in range(40):
+                    low = float(rng.uniform(0.0, 300.0))
+                    await cursor.execute(SQL, (low, low + 10.0))
+                    got = sorted(value for (value,) in cursor.fetchall())
+                    assert got == _expected(low, low + 10.0)
+                await asyncio.sleep(0.25)  # a few pulses
+                stats = await connection.admin.tuning_stats()
+                assert stats["enabled"] is True
+                assert stats["state"] in ("idle", "trial")
+                assert stats["counters"]["observed_queries"] >= 40
+                assert stats["counters"]["windows"] >= 1
+                assert stats["drift"]["checks"] >= 1
+                assert server._tuning_errors == 0
+                await connection.close()
+
+        run(go)
+
+    def test_controller_lazy_until_first_adaptive_stats(self):
+        async def go():
+            # No adaptive column at start: the pulse idles without a
+            # controller until there is a knob surface *and* observations.
+            async with ReproServer(
+                port=0, self_tuning=True, tuning={"pulse_s": 0.02},
+            ) as server:
+                await asyncio.sleep(0.1)
+                assert server.tuning_controller is None
+                assert server._tuning_errors == 0
+
+        run(go)
+
+
+def _expected(low: float, high: float, n_rows: int = 4_000) -> list[int]:
+    rng = np.random.default_rng(17)  # mirrors adaptive_database()
+    objid = np.arange(n_rows, dtype=np.int64)
+    ra = rng.uniform(0.0, 360.0, size=n_rows)
+    return sorted(objid[(ra >= low) & (ra <= high)].tolist())

@@ -1,0 +1,216 @@
+"""The online controller: drift-gated, uncertainty-gated, trial/rollback."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import pytest
+
+from repro.tuning.controller import TuningController
+from repro.tuning.drift import DriftDetector
+from repro.tuning.knobs import KnobRegistry, KnobSpec
+from repro.tuning.whatif import Prediction
+
+DOMAIN = (0.0, 1000.0)
+WINDOW = 4
+
+
+class StubEstimator:
+    """Deterministic what-if stand-in: cost = ``cost_fn(knobs)`` ± ``std``."""
+
+    def __init__(self, cost_fn, *, std=0.0, knob_names=("k",), trained=True):
+        self.knob_names = tuple(knob_names)
+        self.examples: list[Any] = []
+        self.trained = trained
+        self._cost_fn = cost_fn
+        self._std = std
+        self.fits = 0
+
+    def add(self, example) -> None:
+        self.examples.append(example)
+
+    def fit(self, examples=None):
+        if examples is not None:
+            self.examples.extend(examples)
+        self.fits += 1
+        return self
+
+    def predict(self, knobs, workload) -> Prediction:
+        return Prediction(float(self._cost_fn(knobs)), self._std, None, None)
+
+    def stats(self) -> dict[str, Any]:
+        return {"trained": self.trained, "examples": len(self.examples)}
+
+
+def make_registry(value=8.0, low=0.0, high=16.0, step=2.0):
+    store = {"value": value}
+
+    def _apply(new: float) -> None:
+        store["value"] = new
+
+    registry = KnobRegistry()
+    registry.register(KnobSpec(
+        name="k", layer="server", default=value, low=low, high=high, step=step,
+        read=lambda: store["value"], apply=_apply,
+    ))
+    return registry, store
+
+
+def make_controller(estimator, registry, **overrides):
+    options = dict(
+        domain=DOMAIN, window=WINDOW, kappa=1.0, min_gain_fraction=0.02,
+        cooldown_windows=2, refit_every=4,
+        detector=DriftDetector(domain=DOMAIN, window=WINDOW),
+    )
+    options.update(overrides)
+    return TuningController(registry, estimator, **options)
+
+
+def feed_window(controller, low, high, cost):
+    for _ in range(WINDOW):
+        controller.observe(low, high, cost)
+
+
+def drift_to(controller, low, high, cost):
+    """Anchor the detector at one spot, then complete a drifted window."""
+    feed_window(controller, 100.0, 120.0, cost)  # anchors the reference
+    feed_window(controller, low, high, cost)  # scored against it -> drift
+
+
+class TestObservation:
+    def test_windows_complete_and_train(self):
+        estimator = StubEstimator(lambda knobs: 100.0, trained=False)
+        registry, _ = make_registry()
+        controller = make_controller(estimator, registry)
+        feed_window(controller, 100.0, 120.0, 50.0)
+        stats = controller.tuning_stats()
+        assert stats["counters"]["windows"] == 1
+        assert stats["counters"]["observed_queries"] == WINDOW
+        assert len(estimator.examples) == 1
+        assert estimator.examples[0].io_bytes == 50.0
+
+    def test_stable_workload_never_proposes(self):
+        estimator = StubEstimator(lambda knobs: knobs["k"] * 10.0)
+        registry, store = make_registry()
+        controller = make_controller(estimator, registry)
+        for _ in range(6):
+            feed_window(controller, 100.0, 120.0, 80.0)
+        assert controller.tuning_stats()["counters"]["proposals"] == 0
+        assert store["value"] == 8.0
+
+    def test_untrained_estimator_tunes_nothing(self):
+        estimator = StubEstimator(lambda knobs: 0.0, trained=False)
+        registry, store = make_registry()
+        controller = make_controller(estimator, registry)
+        drift_to(controller, 800.0, 820.0, 80.0)
+        counters = controller.tuning_stats()["counters"]
+        assert counters["drift_events"] == 1
+        assert counters["skipped_untrained"] == 1
+        assert store["value"] == 8.0
+
+
+class TestProposalGates:
+    def test_drift_with_confident_gain_applies_a_move(self):
+        estimator = StubEstimator(lambda knobs: knobs["k"] * 10.0, std=1.0)
+        registry, store = make_registry(value=8.0, step=2.0)
+        controller = make_controller(estimator, registry)
+        drift_to(controller, 800.0, 820.0, 80.0)
+        assert controller.state == "trial"
+        assert store["value"] == 6.0  # moved one step toward cheaper
+        move = controller.tuning_stats()["pending_move"]
+        assert move["knob"] == "k"
+        assert move["predicted_gain"] == pytest.approx(20.0)
+
+    def test_uncertainty_gate_blocks(self):
+        # Same 20-unit predicted gain, but the bag spread swamps it.
+        estimator = StubEstimator(lambda knobs: knobs["k"] * 10.0, std=50.0)
+        registry, store = make_registry()
+        controller = make_controller(estimator, registry)
+        drift_to(controller, 800.0, 820.0, 80.0)
+        counters = controller.tuning_stats()["counters"]
+        assert counters["rejected_uncertain"] == 1
+        assert counters["applied"] == 0
+        assert store["value"] == 8.0
+
+    def test_no_gain_gate_blocks(self):
+        estimator = StubEstimator(lambda knobs: 100.0, std=0.0)  # flat surface
+        registry, store = make_registry()
+        controller = make_controller(estimator, registry)
+        drift_to(controller, 800.0, 820.0, 80.0)
+        counters = controller.tuning_stats()["counters"]
+        assert counters["rejected_no_gain"] == 1
+        assert store["value"] == 8.0
+
+    def test_bounds_respected(self):
+        # Cheapest direction is down, but the knob already sits at its floor:
+        # the only in-bounds candidate (up) predicts worse, so no gain.
+        estimator = StubEstimator(lambda knobs: knobs["k"] * 10.0, std=0.1)
+        registry, store = make_registry(value=0.0, low=0.0)
+        controller = make_controller(estimator, registry)
+        drift_to(controller, 800.0, 820.0, 80.0)
+        assert store["value"] == 0.0
+        assert controller.tuning_stats()["counters"]["applied"] == 0
+
+
+class TestTrial:
+    def test_improved_trial_commits_and_keeps_climbing(self):
+        estimator = StubEstimator(lambda knobs: knobs["k"] * 10.0, std=1.0)
+        registry, store = make_registry(value=8.0, step=2.0)
+        controller = make_controller(estimator, registry)
+        drift_to(controller, 800.0, 820.0, 80.0)  # applies 8 -> 6
+        feed_window(controller, 800.0, 820.0, 60.0)  # trial window: improved
+        counters = controller.tuning_stats()["counters"]
+        assert counters["committed"] == 1
+        assert controller.state == "idle"
+        assert controller.tuning_stats()["climbing"]
+        # Climbing: the very next window proposes again without fresh drift.
+        feed_window(controller, 800.0, 820.0, 60.0)
+        assert store["value"] == 4.0
+
+    def test_regressed_trial_rolls_back(self):
+        estimator = StubEstimator(lambda knobs: knobs["k"] * 10.0, std=1.0)
+        registry, store = make_registry(value=8.0, step=2.0)
+        controller = make_controller(estimator, registry)
+        drift_to(controller, 800.0, 820.0, 80.0)  # applies 8 -> 6
+        assert store["value"] == 6.0
+        feed_window(controller, 800.0, 820.0, 200.0)  # trial regressed badly
+        counters = controller.tuning_stats()["counters"]
+        assert counters["rollbacks"] == 1
+        assert store["value"] == 8.0  # snapshot restored
+        assert controller.tuning_stats()["cooldown_windows_left"] == 2
+        outcome = controller.tuning_stats()["recent_moves"][-1]
+        assert outcome["outcome"] == "rolled_back"
+        assert outcome["observed_trial"] == 200.0
+
+    def test_cooldown_suppresses_proposals(self):
+        estimator = StubEstimator(lambda knobs: knobs["k"] * 10.0, std=1.0)
+        registry, store = make_registry()
+        controller = make_controller(estimator, registry)
+        drift_to(controller, 800.0, 820.0, 80.0)
+        feed_window(controller, 800.0, 820.0, 200.0)  # roll back -> cooldown 2
+        # Two more drifting windows sit out the cooldown without moving.
+        feed_window(controller, 100.0, 120.0, 80.0)
+        feed_window(controller, 800.0, 820.0, 80.0)
+        assert store["value"] == 8.0
+        assert controller.tuning_stats()["counters"]["applied"] == 1
+
+
+def test_stats_shape():
+    estimator = StubEstimator(lambda knobs: 1.0)
+    registry, _ = make_registry()
+    controller = make_controller(estimator, registry)
+    stats = controller.tuning_stats()
+    assert {
+        "state", "objective", "counters", "knobs", "knob_table", "drift",
+        "estimator", "recent_moves", "climbing",
+    } <= set(stats)
+    assert stats["state"] == "idle"
+
+
+def test_parameter_validation():
+    estimator = StubEstimator(lambda knobs: 1.0)
+    registry, _ = make_registry()
+    with pytest.raises(ValueError, match="objective"):
+        TuningController(registry, estimator, objective="qps")
+    with pytest.raises(ValueError, match="window"):
+        TuningController(registry, estimator, window=2)

@@ -1,0 +1,88 @@
+"""Drift detection over query-center histograms and router traffic shares."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tuning.drift import DriftDetector
+
+
+def _feed(detector, low, high, count):
+    for _ in range(count):
+        detector.observe(low, high)
+
+
+class TestBoundsDrift:
+    def test_no_verdict_until_window_fills(self):
+        detector = DriftDetector(domain=(0.0, 1000.0), window=8)
+        _feed(detector, 100.0, 120.0, 7)
+        report = detector.check()
+        assert not report.drifted
+        assert report.source == "none"
+
+    def test_first_window_anchors_reference(self):
+        detector = DriftDetector(domain=(0.0, 1000.0), window=8)
+        _feed(detector, 100.0, 120.0, 8)
+        report = detector.check()
+        assert not report.drifted
+        assert report.source == "bounds"
+        assert detector.stats()["has_reference"]
+
+    def test_stable_mix_never_fires(self):
+        detector = DriftDetector(domain=(0.0, 1000.0), window=8)
+        for _ in range(5):
+            _feed(detector, 100.0, 120.0, 8)
+            assert not detector.check().drifted
+
+    def test_moved_mix_fires_once_then_reanchors(self):
+        detector = DriftDetector(domain=(0.0, 1000.0), window=8)
+        _feed(detector, 100.0, 120.0, 8)
+        detector.check()  # anchor
+        _feed(detector, 800.0, 820.0, 8)
+        report = detector.check()
+        assert report.drifted
+        assert report.score > detector.threshold
+        # The drifted mix is the new reference: persisting there is stable.
+        _feed(detector, 800.0, 820.0, 8)
+        assert not detector.check().drifted
+        assert detector.stats()["drift_events"] == 1
+
+    def test_slow_evolution_folds_into_reference(self):
+        detector = DriftDetector(domain=(0.0, 1000.0), window=16, threshold=0.5)
+        _feed(detector, 100.0, 120.0, 16)
+        detector.check()
+        # A mildly shifted window below threshold updates the reference
+        # rather than firing.
+        _feed(detector, 100.0, 120.0, 12)
+        _feed(detector, 160.0, 180.0, 4)
+        report = detector.check()
+        assert not report.drifted
+        assert 0.0 < report.score < detector.threshold
+
+
+class TestSharesDrift:
+    def test_share_vector_path(self):
+        detector = DriftDetector(window=8)
+        first = detector.check(shares=[0.9, 0.1])
+        assert not first.drifted and first.source == "shares"
+        stable = detector.check(shares=[0.85, 0.15])
+        assert not stable.drifted
+        flipped = detector.check(shares=[0.1, 0.9])
+        assert flipped.drifted
+        # Re-anchored on the flipped vector.
+        assert not detector.check(shares=[0.12, 0.88]).drifted
+
+    def test_length_change_reanchors(self):
+        detector = DriftDetector(window=8)
+        detector.check(shares=[0.5, 0.5])
+        grown = detector.check(shares=[0.4, 0.3, 0.3])  # replica added
+        assert not grown.drifted
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        DriftDetector(window=1)
+    with pytest.raises(ValueError):
+        DriftDetector(bins=1)
+    with pytest.raises(ValueError):
+        DriftDetector(threshold=0.0)

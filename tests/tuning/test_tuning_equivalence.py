@@ -1,0 +1,177 @@
+"""Property test: controller-applied knob changes never change answers.
+
+Knobs steer *where* the adaptive layer splits and materializes, never *what*
+a range query returns.  Any stream of ``set_knobs`` calls — including the
+controller's propose → trial → commit/rollback cycle landing mid-stream —
+must leave every query's answer permutation-equal to a serial run under
+fixed default knobs.  The companion pins tie the registry's defaults to the
+Figure 5–7 accounting fixture: the pinned SHA-256 series *is* the
+default-knob accounting, and a no-op ``set_knobs`` reproduces it bit for
+bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.engine.database import Database
+from repro.tuning.controller import TuningController
+from repro.tuning.drift import DriftDetector
+from repro.tuning.whatif import TrainingExample, WhatIfEstimator
+from repro.util.units import KB
+
+DOMAIN = (0.0, 1000.0)
+WINDOW = 8
+FIXTURE_PATH = (
+    Path(__file__).resolve().parent.parent / "data" / "fig5_7_accounting_fixture.json"
+)
+
+
+def _make_database() -> Database:
+    database = Database()
+    database.create_table("t", {"v": "float64"})
+    rng = np.random.default_rng(42)
+    database.bulk_load("t", {"v": rng.uniform(*DOMAIN, 6000)})
+    database.enable_adaptive("t", "v", model="apm", m_min=1 * KB, m_max=4 * KB)
+    return database
+
+
+def _drifting_queries(n: int = 120) -> list[tuple[float, float]]:
+    """A stream whose point of access jumps mid-way (forces drift)."""
+    rng = np.random.default_rng(9)
+    queries = []
+    for index in range(n):
+        base = 80.0 if index < n // 2 else 820.0
+        low = base + float(rng.uniform(0.0, 60.0))
+        queries.append((low, low + 25.0))
+    return queries
+
+
+def _answers(database: Database, queries, after_each=None) -> list[list[float]]:
+    out = []
+    for index, (low, high) in enumerate(queries):
+        result = database.execute(
+            f"SELECT v FROM t WHERE v BETWEEN {low!r} AND {high!r}"
+        )
+        out.append(sorted(result.columns["v"].tolist()))
+        if after_each is not None:
+            after_each(index, database, result)
+    return out
+
+
+def _pretrained_estimator() -> WhatIfEstimator:
+    """A real estimator taught that smaller ``apm_m_min`` means less IO."""
+    estimator = WhatIfEstimator(["apm_m_min"], seed=0)
+    features = np.array([0.1, 0.05, 0.025, 0.0])
+    estimator.fit([
+        TrainingExample(
+            knobs={"apm_m_min": m_min}, workload=features, io_bytes=m_min * 4.0,
+        )
+        for m_min in (0.5 * KB, 1 * KB, 2 * KB, 3 * KB, 4 * KB, 6 * KB)
+    ])
+    return estimator
+
+
+def _run_with_controller(regress_tolerance: float):
+    database = _make_database()
+    handle = database.bpm.handles()[0]
+    controller = TuningController(
+        database.knob_registry(),
+        _pretrained_estimator(),
+        detector=DriftDetector(domain=DOMAIN, window=WINDOW),
+        domain=DOMAIN,
+        window=WINDOW,
+        kappa=0.5,
+        min_gain_fraction=0.0,
+        regress_tolerance=regress_tolerance,
+        cooldown_windows=1,
+    )
+    seen = {"reads": 0.0}
+
+    def observe(index, database_, result):
+        accountant = handle.adaptive.accountant
+        total = accountant.total_reads_bytes + accountant.total_writes_bytes
+        cost, seen["reads"] = total - seen["reads"], total
+        low, high = queries[index]
+        controller.observe(low, high, cost)
+
+    queries = _drifting_queries()
+    answers = _answers(database, queries, after_each=observe)
+    return answers, controller, database
+
+
+class TestAnswerPreservation:
+    @pytest.fixture(scope="class")
+    def serial_answers(self):
+        return _answers(_make_database(), _drifting_queries())
+
+    def test_explicit_set_knobs_mid_stream(self, serial_answers):
+        database = _make_database()
+        queries = _drifting_queries()
+        moves = {
+            30: {"apm_m_min": 0.5 * KB},
+            60: {"apm_m_min": 2 * KB, "apm_m_max": 16 * KB},
+            90: {"apm_m_min": 1 * KB, "apm_m_max": 4 * KB},  # rollback shape
+        }
+
+        def apply_moves(index, database_, result):
+            if index in moves:
+                database_.set_knobs(moves[index])
+
+        assert _answers(database, queries, after_each=apply_moves) == serial_answers
+
+    def test_controller_commit_path_preserves_answers(self, serial_answers):
+        answers, controller, _ = _run_with_controller(regress_tolerance=10.0)
+        counters = controller.tuning_stats()["counters"]
+        assert counters["applied"] >= 1, "controller never moved a knob"
+        assert counters["committed"] >= 1
+        assert answers == serial_answers
+
+    def test_controller_rollback_path_preserves_answers(self, serial_answers):
+        # A negative tolerance brands every trial a regression, so each
+        # applied move is rolled back mid-stream — the adversarial case.
+        answers, controller, database = _run_with_controller(regress_tolerance=-1.0)
+        stats = controller.tuning_stats()
+        assert stats["counters"]["rollbacks"] >= 1
+        assert stats["counters"]["committed"] == 0  # every judged trial rolled back
+        assert any(
+            move["outcome"] == "rolled_back" for move in stats["recent_moves"]
+        )
+        if stats["state"] == "idle":  # no trial pending: snapshot fully restored
+            model = database.bpm.handles()[0].adaptive.model
+            assert model.m_min == 1 * KB
+        assert answers == serial_answers
+
+
+class TestDefaultKnobPins:
+    def test_registry_defaults_match_fig5_7_fixture(self):
+        """The pinned accounting fixture *is* the default-knob accounting."""
+        fixture = json.loads(FIXTURE_PATH.read_text(encoding="utf-8"))
+        registry = _make_database().knob_registry()
+        assert registry.spec("apm_m_min").default == fixture["m_min"] == 3 * KB
+        assert registry.spec("apm_m_max").default == fixture["m_max"] == 12 * KB
+
+    def test_noop_set_knobs_keeps_accounting_bit_identical(self):
+        def digest(database: Database, touch) -> str:
+            handle = database.bpm.handles()[0]
+            rng = np.random.default_rng(5)
+            for index in range(60):
+                low = float(rng.uniform(0.0, 950.0))
+                database.execute(f"SELECT v FROM t WHERE v BETWEEN {low!r} AND {low + 30.0!r}")
+                if touch and index % 10 == 0:
+                    database.set_knobs(database.knobs())  # explicit no-op
+            log = handle.adaptive.history
+            hasher = hashlib.sha256()
+            hasher.update(np.asarray(log.series("reads_bytes")).tobytes())
+            hasher.update(np.asarray(log.series("writes_bytes")).tobytes())
+            hasher.update(np.asarray(log.series("result_count")).tobytes())
+            return hasher.hexdigest()
+
+        assert digest(_make_database(), touch=False) == digest(
+            _make_database(), touch=True
+        )

@@ -6,9 +6,12 @@ import pytest
 from repro.workloads.generators import (
     WorkloadSpec,
     changing_workload,
+    drifting_mix_workload,
     hotspot_workload,
     make_column,
+    mixed_workload,
     uniform_workload,
+    update_heavy_workload,
     zipf_workload,
 )
 from repro.workloads.query import RangeQuery, Workload, queries_from_pairs
@@ -118,12 +121,64 @@ class TestGenerators:
             uniform_workload(10, DOMAIN, 0.0)
 
     def test_workload_spec_dispatch(self):
-        for distribution in ("uniform", "zipf", "changing", "hotspot"):
+        for distribution in (
+            "uniform", "zipf", "changing", "hotspot",
+            "update_heavy", "mixed", "drifting_mix",
+        ):
             spec = WorkloadSpec(name=distribution, distribution=distribution, selectivity=0.05, n_queries=20, seed=1)
             workload = spec.generate(DOMAIN)
             assert len(workload) == 20
         with pytest.raises(ValueError):
             WorkloadSpec("x", "unknown", 0.1, 10).generate(DOMAIN)
+
+
+class TestTunerScenarioGenerators:
+    """The self-tuning loop's training/eval workloads (ISSUE 9 satellite)."""
+
+    def test_update_heavy_op_mix(self):
+        workload = update_heavy_workload(400, DOMAIN, 0.01, update_fraction=0.7, seed=6)
+        ops = workload.metadata["ops"]
+        assert len(ops) == len(workload.queries) == 400
+        assert set(ops) <= {"read", "update"}
+        mix = workload.metadata["op_mix"]
+        assert mix["read"] + mix["update"] == 400
+        assert 0.6 <= mix["update"] / 400 <= 0.8  # near the requested fraction
+        # Positions stay hot-area confined (hotspot base pattern).
+        assert workload.coverage_fraction() < 0.1
+
+    def test_update_heavy_is_replayable_as_reads(self):
+        workload = update_heavy_workload(50, DOMAIN, 0.01, seed=6)
+        for query in workload.queries:
+            assert DOMAIN[0] <= query.low <= query.high <= DOMAIN[1]
+
+    def test_mixed_write_fraction(self):
+        workload = mixed_workload(400, DOMAIN, 0.01, write_fraction=0.3, seed=6)
+        mix = workload.metadata["op_mix"]
+        assert set(workload.metadata["ops"]) <= {"read", "insert", "delete"}
+        writes = mix["insert"] + mix["delete"]
+        assert 0.2 <= writes / 400 <= 0.4
+        assert mix["read"] == 400 - writes
+
+    def test_drifting_mix_phases(self):
+        workload = drifting_mix_workload(300, DOMAIN, 0.01, seed=6)
+        assert len(workload.queries) == 300
+        assert workload.metadata["phases"] == ["hotspot", "uniform", "multimodal"]
+        assert workload.metadata["phase_boundaries"] == [0, 100, 200]
+        # The phases genuinely differ in shape: the hotspot phase is far more
+        # spatially confined than the uniform phase.
+        lows = np.array([query.low for query in workload.queries])
+        assert lows[:100].std() < lows[100:200].std() / 3
+
+    def test_drifting_mix_is_seed_deterministic(self):
+        first = drifting_mix_workload(90, DOMAIN, 0.01, seed=7)
+        second = drifting_mix_workload(90, DOMAIN, 0.01, seed=7)
+        assert [(q.low, q.high) for q in first.queries] == [
+            (q.low, q.high) for q in second.queries
+        ]
+
+    def test_drifting_mix_rejects_empty_phases(self):
+        with pytest.raises(ValueError, match="at least one"):
+            drifting_mix_workload(10, DOMAIN, 0.01, phases=())
 
 
 class TestSkyServer:
