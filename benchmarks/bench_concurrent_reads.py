@@ -1,0 +1,291 @@
+"""Concurrent snapshot reads: wave fan-out vs the fully serialized path.
+
+The scenario reuses the self-tuning bench's pressure cooker: a replication
+column squeezed by a storage budget sized for one query mode, hit by an
+interleaved multi-mode stream whose working set exceeds the budget.  On
+the serialized path every wave member runs the conventional ``select()``
+— cover analysis, materialization decisions, budget-enforcement walks and
+eviction churn, per query.  With ``execute_wave(..., readers=N)`` the same
+members are answered against a pinned :class:`CoverSnapshot`: zero-lock
+range probes plus gathers, with the drained observations absorbed once
+per wave on the owner thread.
+
+That composition is what ``concurrent_read_scaling_x`` measures, stated
+honestly: the gain combines (a) taking adaptation out of the read path —
+which dominates on a single-core host — and (b) overlapping the numpy
+probe/gather kernels, which release the GIL, across reader threads on
+multi-core hosts.  Both effects are exactly what the snapshot design
+buys; neither is available to the serialized engine.  The ratio is
+co-measured (same process, identically built and warmed engines, same
+bound stream), so the bar needs no machine factor.
+
+``snapshot_pin_overhead_x`` guards the other side of the trade: on a
+warmed *segmentation* column (stable layout, single thread) the snapshot
+path — pin, probe, gather, absorb — must not cost more than 1.1x the
+conventional prepared path for the same bound select.
+
+Metrics merged into ``BENCH_segment_kernels.json``:
+
+* ``concurrent_serialized_qps``  — serialized waves, budget-squeezed replication
+* ``concurrent_readers_qps``     — same waves with the 4-reader snapshot fan-out
+* ``concurrent_read_scaling_x``  — readers over serialized (bar: >= 1.3x at
+  the reference scale; the CI gate)
+* ``snapshot_pin_overhead_x``    — snapshot path over prepared path,
+  single-threaded segmentation (bar: <= 1.1x at the reference scale)
+
+Scales with the environment (CI runs reduced)::
+
+    PERF_CONC_ROWS      rows in the table            (default 100 000)
+    PERF_CONC_QUERIES   timed queries per sweep      (default 2 048)
+    PERF_CONC_WAVE      members per admission wave   (default 64)
+    PERF_CONC_READERS   snapshot reader threads      (default 4)
+    PERF_CONC_SLACK_KB  budget headroom over column  (default 48)
+    PERF_REPEAT         timing sweeps                (default 3)
+
+Run after ``bench_perf_suite.py`` (the records merge into its report)::
+
+    PYTHONPATH=src python benchmarks/bench_concurrent_reads.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.perf_tracking import PerfSuite, env_scale  # noqa: E402
+from repro.engine.database import Database  # noqa: E402
+from repro.util.units import KB  # noqa: E402
+from repro.workloads import multimodal_workload  # noqa: E402
+
+REPORT_PATH = REPO_ROOT / "BENCH_segment_kernels.json"
+
+SQL = "SELECT objid FROM p WHERE ra BETWEEN ? AND ?"
+DOMAIN = (0.0, 360.0)
+N_MODES = 4
+SELECTIVITY = 0.002
+
+
+def build_replication_database(*, n_rows: int, slack_kb: int) -> Database:
+    """A replication column under a budget sized for one mode's working set."""
+    rng = np.random.default_rng(29)
+    database = Database()
+    database.create_table("p", {"objid": "int64", "ra": "float64"})
+    database.bulk_load(
+        "p",
+        {
+            "objid": np.arange(n_rows, dtype=np.int64),
+            "ra": rng.uniform(*DOMAIN, size=n_rows),
+        },
+    )
+    database.enable_adaptive(
+        "p", "ra", strategy="replication", model="apm",
+        m_min=1 * KB, m_max=4 * KB,
+        storage_budget=n_rows * 8 + slack_kb * KB,
+    )
+    return database
+
+
+def build_segmentation_database(*, n_rows: int) -> Database:
+    """A plain segmentation column for the single-threaded overhead check."""
+    rng = np.random.default_rng(31)
+    database = Database()
+    database.create_table("p", {"objid": "int64", "ra": "float64"})
+    database.bulk_load(
+        "p",
+        {
+            "objid": np.arange(n_rows, dtype=np.int64),
+            "ra": rng.uniform(*DOMAIN, size=n_rows),
+        },
+    )
+    database.enable_adaptive(
+        "p", "ra", strategy="segmentation", model="apm",
+        m_min=1 * KB, m_max=4 * KB,
+    )
+    return database
+
+
+def drifted_bounds(count: int, seed: int) -> list[tuple[float, float]]:
+    """The interleaved multi-mode stream whose working set exceeds the budget."""
+    workload = multimodal_workload(
+        count, DOMAIN, SELECTIVITY, n_modes=N_MODES, interleave=True, seed=seed
+    )
+    return [(query.low, query.high) for query in workload.queries]
+
+
+def warm(database: Database, prepared, count: int, seed: int) -> None:
+    """Adapt the engine on the drifted stream before any clock starts."""
+    for low, high in drifted_bounds(count, seed):
+        database.execute_prepared(prepared, (low, high))
+
+
+def measure_waves(
+    *,
+    readers: int,
+    n_rows: int,
+    slack_kb: int,
+    total_queries: int,
+    wave_size: int,
+    repeat: int,
+) -> float:
+    """Aggregate qps of the drifted stream admitted in waves of ``wave_size``.
+
+    Each measurement builds and warms its own engine: the serialized and
+    fan-out paths adapt differently during timing, so sharing one engine
+    would let the first run reshape the layout for the second.
+    """
+    database = build_replication_database(n_rows=n_rows, slack_kb=slack_kb)
+    prepared = database.prepare_statement(SQL)
+    warm(database, prepared, 512, seed=7)
+    wall = 0.0
+    for sweep in range(repeat):
+        bounds = drifted_bounds(total_queries, seed=9 + sweep)
+        waves = [
+            [
+                (prepared, prepared.binding.bind(pair))
+                for pair in bounds[start : start + wave_size]
+            ]
+            for start in range(0, len(bounds), wave_size)
+        ]
+        started = time.perf_counter()
+        for wave in waves:
+            database.execute_wave(wave, readers=readers)
+        wall += time.perf_counter() - started
+    return repeat * total_queries / wall
+
+
+def measure_pin_overhead(
+    *, n_rows: int, total_queries: int, repeat: int
+) -> tuple[float, float, float]:
+    """Per-query snapshot path vs prepared path, one thread, warmed layout.
+
+    Returns ``(snapshot_qps, prepared_qps, overhead_x)``.  Both paths run
+    the same bound stream on the same warmed segmentation engine —
+    interleaved sweeps, so drift in the host clock hits both equally.
+    """
+    database = build_segmentation_database(n_rows=n_rows)
+    prepared = database.prepare_statement(SQL)
+    warm(database, prepared, 1_024, seed=13)
+    bounds = drifted_bounds(total_queries, seed=17)
+    pairs = [prepared.binding.bind(pair) for pair in bounds]
+    snapshot_wall = 0.0
+    prepared_wall = 0.0
+    for _ in range(repeat):
+        started = time.perf_counter()
+        for values in pairs:
+            database.execute_prepared(prepared, values)
+        prepared_wall += time.perf_counter() - started
+        started = time.perf_counter()
+        for values in pairs:
+            database.execute_readonly(prepared, values)
+        snapshot_wall += time.perf_counter() - started
+    total = repeat * len(pairs)
+    return total / snapshot_wall, total / prepared_wall, snapshot_wall / prepared_wall
+
+
+def run_bench() -> PerfSuite:
+    n_rows = env_scale("PERF_CONC_ROWS", 100_000)
+    total_queries = env_scale("PERF_CONC_QUERIES", 2_048)
+    wave_size = env_scale("PERF_CONC_WAVE", 64)
+    readers = env_scale("PERF_CONC_READERS", 4)
+    slack_kb = env_scale("PERF_CONC_SLACK_KB", 48)
+    repeat = env_scale("PERF_REPEAT", 3)
+
+    suite = PerfSuite("segment_kernels")
+    common = dict(
+        n_rows=n_rows, total_queries=total_queries, wave_size=wave_size,
+        slack_kb=slack_kb, repeat=repeat,
+    )
+
+    serialized_qps = measure_waves(
+        readers=1, n_rows=n_rows, slack_kb=slack_kb,
+        total_queries=total_queries, wave_size=wave_size, repeat=repeat,
+    )
+    print(f"  serialized waves:        {serialized_qps:,.0f} qps "
+          f"(per-member adaptation under budget pressure)")
+
+    readers_qps = measure_waves(
+        readers=readers, n_rows=n_rows, slack_kb=slack_kb,
+        total_queries=total_queries, wave_size=wave_size, repeat=repeat,
+    )
+    scaling = readers_qps / serialized_qps
+    print(f"  {readers}-reader snapshot waves: {readers_qps:,.0f} qps "
+          f"({scaling:.2f}x)")
+
+    snapshot_qps, prepared_qps, overhead = measure_pin_overhead(
+        n_rows=n_rows, total_queries=total_queries, repeat=repeat,
+    )
+    print(f"  snapshot pin overhead:   {overhead:.3f}x "
+          f"({snapshot_qps:,.0f} qps snapshot vs {prepared_qps:,.0f} qps prepared)")
+
+    suite.derive(
+        "concurrent_serialized_qps", serialized_qps, unit="qps", **common,
+        note="drifted 4-mode stream admitted in waves, readers=1: every "
+             "member runs conventional select() with cover analysis, "
+             "materialization and budget-enforcement churn inline",
+    )
+    suite.derive(
+        "concurrent_readers_qps", readers_qps, unit="qps", **common,
+        readers=readers,
+        note="same waves with the snapshot fan-out: members answered "
+             "against a pinned CoverSnapshot on reader threads, "
+             "observations absorbed once per wave",
+    )
+    suite.derive(
+        "concurrent_read_scaling_x", scaling, unit="x", **common,
+        readers=readers,
+        note="readers over serialized, co-measured on identically warmed "
+             "engines; the gain composes adaptation-free snapshot reads "
+             "(dominant on one core) with GIL-released numpy overlap on "
+             "multi-core hosts (bar: >= 1.3x at the reference scale; the "
+             "CI gate)",
+    )
+    suite.derive(
+        "snapshot_pin_overhead_x", overhead, unit="x",
+        n_rows=n_rows, total_queries=total_queries, repeat=repeat,
+        note="single-threaded snapshot path (pin + probe + gather + "
+             "absorb) over the conventional prepared path on a warmed "
+             "segmentation column (bar: <= 1.1x at the reference scale)",
+    )
+    return suite
+
+
+def main() -> int:
+    suite = run_bench()
+    path = suite.merge_write(REPORT_PATH)
+    print(suite.format_summary())
+    print(f"[merged into {path}]")
+
+    if os.environ.get("PERF_ASSERT") == "1":
+        at_reference_scale = (
+            env_scale("PERF_CONC_ROWS", 100_000) == 100_000
+            and env_scale("PERF_CONC_QUERIES", 2_048) == 2_048
+            and env_scale("PERF_REPEAT", 3) == 3
+        )
+        scaling = suite["concurrent_read_scaling_x"].value
+        overhead = suite["snapshot_pin_overhead_x"].value
+        if at_reference_scale:
+            # Co-measured ratios (see the module docstring): no machine factor.
+            assert scaling >= 1.3, (
+                f"snapshot wave fan-out gained only {scaling:.2f}x over the "
+                f"serialized path (bar: >= 1.3x)"
+            )
+            assert overhead <= 1.1, (
+                f"single-threaded snapshot path costs {overhead:.2f}x the "
+                f"prepared path (bar: <= 1.1x)"
+            )
+            print(
+                f"[PERF_ASSERT ok: scaling {scaling:.2f}x, "
+                f"pin overhead {overhead:.3f}x]"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

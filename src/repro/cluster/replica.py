@@ -183,9 +183,14 @@ class EngineReplica:
     component with the fleet-wide view failover needs.
     """
 
-    def __init__(self, index: int, database: Database) -> None:
+    def __init__(self, index: int, database: Database, *, read_workers: int = 1) -> None:
         self.index = int(index)
         self.database = database
+        # Per-replica snapshot-reader fan-out: the replica's worker thread
+        # stays the only adaptation owner; extra threads only serve pinned-
+        # snapshot reads inside execute_wave.
+        self.read_workers = max(1, int(read_workers))
+        database.read_workers = self.read_workers
         self.worker = ReplicaWorker(index)
         self.queries_served = 0
         self.waves_served = 0
@@ -221,6 +226,7 @@ class EngineReplica:
         """
         self.worker.close(timeout=close_timeout)
         self.database = database
+        database.read_workers = self.read_workers
         self.worker = ReplicaWorker(self.index)
         self.consecutive_failures = 0
         self.last_error = None
@@ -257,6 +263,7 @@ class EngineReplica:
             "busy_seconds": self.busy_seconds,
             "qps": qps,
             "health": self.health.value,
+            "read_workers": self.read_workers,
             "failures": self.failures,
             "consecutive_failures": self.consecutive_failures,
             "rebuilds": self.rebuilds,

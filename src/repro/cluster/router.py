@@ -144,6 +144,7 @@ class Router:
         join_timeout_s: float = 5.0,
         injector: Any | None = None,
         seed: int | None = 0,
+        read_workers: int = 1,
     ) -> None:
         if n_replicas < 1:
             raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
@@ -162,9 +163,16 @@ class Router:
         self.join_timeout_s = float(join_timeout_s)
         self.injector = injector
         self.seed = seed
-        self.replicas: list[EngineReplica] = [EngineReplica(0, database)]
+        self.read_workers = max(1, int(read_workers))
+        self.replicas: list[EngineReplica] = [
+            EngineReplica(0, database, read_workers=self.read_workers)
+        ]
         for index in range(1, n_replicas):
-            self.replicas.append(EngineReplica(index, clone_database(database)))
+            self.replicas.append(
+                EngineReplica(
+                    index, clone_database(database), read_workers=self.read_workers
+                )
+            )
 
         self._lock = threading.Lock()
         self._rebuild_lock = threading.Lock()

@@ -23,7 +23,12 @@ import numpy as np
 from repro.core.accounting import IOAccountant, QueryLog, QueryStats
 from repro.core.ranges import ValueRange, domain_of
 from repro.core.segment import SelectionResult, Segment
-from repro.core.strategy import AdaptiveColumnBase, batch_bounds_arrays, register_strategy
+from repro.core.strategy import (
+    AdaptiveColumnBase,
+    ReadObservations,
+    batch_bounds_arrays,
+    register_strategy,
+)
 
 
 @register_strategy
@@ -34,6 +39,9 @@ class UnsegmentedColumn(AdaptiveColumnBase):
     requires_model = False
     display_short = "NoSegm"
     supports_batch = True
+    #: The baseline never reorganizes, so its payload arrays are inherently
+    #: immutable — snapshot reads need no snapshot object at all.
+    supports_snapshot_reads = True
 
     def __init__(
         self,
@@ -72,6 +80,43 @@ class UnsegmentedColumn(AdaptiveColumnBase):
         self.history: QueryLog | None = QueryLog() if keep_history else None
         self._time_phases = time_phases
         self._queries_executed = 0
+        self._read_observations = ReadObservations()
+
+    def select_readonly(
+        self, low: float, high: float, snapshot: object | None = None
+    ) -> SelectionResult:
+        """Answer ``low <= value < high`` without touching any shared state.
+
+        The positional payload is never mutated, so the full scan is
+        trivially thread-safe; the observation goes into
+        :attr:`read_observations` instead of the accountant/history.
+        ``snapshot`` is accepted (and ignored) for interface uniformity —
+        :meth:`pin_snapshot` returns ``None`` for this strategy.
+        """
+        query = ValueRange(float(low), float(high))
+        mask = (self._values >= query.low) & (self._values < query.high)
+        result = SelectionResult(self._values[mask], self._oids[mask])
+        self.read_observations.record(query.low, query.high, result.count * self.value_width)
+        return result
+
+    def absorb_reads(self) -> int:
+        """Fold drained snapshot reads into the query ledger (no adaptation)."""
+        bounds, result_bytes = self.read_observations.drain()
+        if not bounds:
+            return 0
+        stats = QueryStats(
+            index=self._queries_executed,
+            low=min(low for low, _ in bounds),
+            high=max(high for _, high in bounds),
+            batch_size=len(bounds),
+        )
+        stats.result_count = int(round(sum(result_bytes) / self.value_width))
+        stats.segment_count = 1
+        stats.storage_bytes = self.storage_bytes
+        self._queries_executed += len(bounds)
+        if self.history is not None:
+            self.history.append(stats)
+        return len(bounds)
 
     @property
     def segment_count(self) -> int:

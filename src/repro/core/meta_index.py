@@ -5,6 +5,17 @@ and sizes so that it can pre-select the segments overlapping a predicate and
 estimate memory footprints *without touching the data* (§3.1).  This module
 implements that catalogue for an ordered, non-overlapping list of segments
 (the adaptive-segmentation layout).
+
+Concurrency model (copy-on-write at the index level): every mutation —
+``add`` or ``replace`` — stages its change in the writer-owned lists and then
+*publishes* a fresh immutable :class:`MetaIndexSnapshot` with a single
+reference assignment plus a generation bump.  Readers call
+:meth:`SegmentMetaIndex.pin_snapshot` (one attribute read, no copy, no lock)
+and execute entirely against the pinned snapshot, so they can never observe a
+half-rewritten index even while the owning worker splits segments under them.
+Segments themselves are immutable views over shared base arrays (the PR-2
+zero-copy layout), so a snapshot that outlives a swap keeps serving the old
+layout correctly until the last reference is dropped.
 """
 
 from __future__ import annotations
@@ -18,88 +29,59 @@ from repro.core.ranges import ValueRange
 from repro.core.segment import Segment
 
 
-class SegmentMetaIndex:
-    """Ordered sparse index over non-overlapping segments of one column.
+class MetaIndexSnapshot:
+    """An immutable, point-in-time view of one column's segment list.
 
-    The index maintains the segments sorted by their lower bound and supports
-    the three operations the segment optimizer needs: overlap lookup for a
-    predicate range, replacement of a segment by its sub-segments after a
-    split, and footprint estimation for a predicate.
+    All lookup methods of :class:`SegmentMetaIndex` are implemented here and
+    the live index delegates to its current snapshot, so owner-thread reads
+    and pinned reader-thread reads run the exact same code over the exact
+    same structure.  The segment tuple and the bound caches are never mutated
+    after construction; the numpy bound arrays for :meth:`route_many` are
+    materialized lazily and cached (a racing double-build is benign — both
+    threads compute identical arrays).
     """
 
-    def __init__(self, segments: Iterable[Segment] = ()) -> None:
-        self._segments: list[Segment] = []
-        self._lows: list[float] = []
-        self._highs: list[float] = []
-        for segment in segments:
-            self.add(segment)
+    __slots__ = (
+        "segments",
+        "generation",
+        "_lows",
+        "_highs",
+        "_lows_array",
+        "_highs_array",
+        # Snapshots must be weak-referenceable so tests can prove that a
+        # released snapshot is actually collected (no reader-side leak).
+        "__weakref__",
+    )
+
+    def __init__(self, segments: tuple[Segment, ...], generation: int) -> None:
+        self.segments = segments
+        self.generation = generation
+        self._lows: tuple[float, ...] = tuple(s.vrange.low for s in segments)
+        self._highs: tuple[float, ...] = tuple(s.vrange.high for s in segments)
+        self._lows_array: np.ndarray | None = None
+        self._highs_array: np.ndarray | None = None
 
     # -- container protocol ----------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._segments)
+        return len(self.segments)
 
     def __iter__(self) -> Iterator[Segment]:
-        return iter(self._segments)
+        return iter(self.segments)
 
     def __getitem__(self, index: int) -> Segment:
-        return self._segments[index]
-
-    @property
-    def segments(self) -> list[Segment]:
-        """The segments in value order (do not mutate)."""
-        return list(self._segments)
-
-    # -- maintenance -------------------------------------------------------
-
-    def add(self, segment: Segment) -> None:
-        """Insert a segment, keeping the list ordered and non-overlapping."""
-        position = bisect.bisect_left(self._lows, segment.vrange.low)
-        for neighbour_index in (position - 1, position):
-            if 0 <= neighbour_index < len(self._segments):
-                neighbour = self._segments[neighbour_index]
-                if neighbour.vrange.overlaps(segment.vrange):
-                    raise ValueError(
-                        f"segment {segment.vrange} overlaps existing {neighbour.vrange}"
-                    )
-        self._segments.insert(position, segment)
-        self._lows.insert(position, segment.vrange.low)
-        self._highs.insert(position, segment.vrange.high)
-
-    def replace(self, old: Segment, new_segments: list[Segment]) -> None:
-        """Replace ``old`` with its sub-segments (after an adaptive split).
-
-        ``old`` is located by bisecting the low-bound cache — segments are
-        non-overlapping, so their lows are unique — instead of an O(n)
-        linear scan.
-        """
-        position = bisect.bisect_left(self._lows, old.vrange.low)
-        while (
-            position < len(self._segments)
-            and self._lows[position] == old.vrange.low
-            and self._segments[position] is not old
-        ):
-            position += 1
-        if position >= len(self._segments) or self._segments[position] is not old:
-            raise KeyError(f"segment {old.vrange} is not in the index")
-        del self._segments[position]
-        del self._lows[position]
-        del self._highs[position]
-        for offset, segment in enumerate(sorted(new_segments, key=lambda s: s.vrange.low)):
-            self._segments.insert(position + offset, segment)
-            self._lows.insert(position + offset, segment.vrange.low)
-            self._highs.insert(position + offset, segment.vrange.high)
+        return self.segments[index]
 
     # -- lookups ------------------------------------------------------------
 
     def overlapping(self, vrange: ValueRange) -> list[Segment]:
         """Segments whose range overlaps ``vrange`` (in value order)."""
-        if vrange.is_empty or not self._segments:
+        if vrange.is_empty or not self.segments:
             return []
         start = bisect.bisect_right(self._lows, vrange.low) - 1
         start = max(start, 0)
         result: list[Segment] = []
-        for segment in self._segments[start:]:
+        for segment in self.segments[start:]:
             if segment.vrange.low >= vrange.high:
                 break
             if segment.vrange.overlaps(vrange):
@@ -133,8 +115,13 @@ class SegmentMetaIndex:
         ``vrange.contains_range``-style bound comparisons to recover the
         *fully contained* tag of :meth:`overlapping_classified`.
         """
-        seg_lows = np.asarray(self._lows, dtype=np.float64)
-        seg_highs = np.asarray(self._highs, dtype=np.float64)
+        seg_lows = self._lows_array
+        seg_highs = self._highs_array
+        if seg_lows is None or seg_highs is None:
+            seg_lows = np.asarray(self._lows, dtype=np.float64)
+            seg_highs = np.asarray(self._highs, dtype=np.float64)
+            self._lows_array = seg_lows
+            self._highs_array = seg_highs
         # Segments are ordered and non-overlapping, so their highs are sorted
         # too: the overlap span is [first high > low, first low >= high).
         starts = np.searchsorted(seg_highs, lows, side="right")
@@ -147,7 +134,7 @@ class SegmentMetaIndex:
         position = bisect.bisect_right(self._lows, value) - 1
         if position < 0:
             return None
-        segment = self._segments[position]
+        segment = self.segments[position]
         return segment if segment.vrange.contains(value) else None
 
     def estimated_footprint_bytes(self, vrange: ValueRange) -> float:
@@ -158,18 +145,180 @@ class SegmentMetaIndex:
         """
         return sum(segment.size_bytes for segment in self.overlapping(vrange))
 
+
+class SegmentMetaIndex:
+    """Ordered sparse index over non-overlapping segments of one column.
+
+    The index maintains the segments sorted by their lower bound and supports
+    the three operations the segment optimizer needs: overlap lookup for a
+    predicate range, replacement of a segment by its sub-segments after a
+    split, and footprint estimation for a predicate.
+
+    Mutations are single-writer (the column's owning worker thread); every
+    mutation publishes a fresh :class:`MetaIndexSnapshot` that concurrent
+    readers pin with :meth:`pin_snapshot`.
+    """
+
+    def __init__(self, segments: Iterable[Segment] = ()) -> None:
+        self._segments: list[Segment] = []
+        self._lows: list[float] = []
+        self._highs: list[float] = []
+        self._generation = 0
+        self._checked_generation = -1
+        self._snapshot = MetaIndexSnapshot((), 0)
+        staged = False
+        for segment in segments:
+            self._add_staged(segment)
+            staged = True
+        if staged:
+            self._publish()
+
+    # -- container protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __iter__(self) -> Iterator[Segment]:
+        return iter(self._segments)
+
+    def __getitem__(self, index: int) -> Segment:
+        return self._segments[index]
+
+    @property
+    def segments(self) -> list[Segment]:
+        """The segments in value order (do not mutate)."""
+        return list(self._segments)
+
+    @property
+    def generation(self) -> int:
+        """The published snapshot generation (bumped on every mutation)."""
+        return self._generation
+
+    def pin_snapshot(self) -> MetaIndexSnapshot:
+        """Pin the current immutable snapshot — one reference grab, no copy.
+
+        The returned snapshot keeps answering lookups against the layout it
+        captured even if adaptation swaps in a new one underneath; it is
+        garbage-collected once the caller drops it.
+        """
+        return self._snapshot
+
+    def _publish(self) -> None:
+        """Publish the staged segment list as a fresh immutable snapshot."""
+        self._generation += 1
+        # Single atomic reference assignment: readers see either the old
+        # snapshot or the new one, never an in-between state.
+        self._snapshot = MetaIndexSnapshot(tuple(self._segments), self._generation)
+
+    # -- maintenance -------------------------------------------------------
+
+    def _add_staged(self, segment: Segment) -> None:
+        """Insert into the writer-owned lists without publishing."""
+        position = bisect.bisect_left(self._lows, segment.vrange.low)
+        for neighbour_index in (position - 1, position):
+            if 0 <= neighbour_index < len(self._segments):
+                neighbour = self._segments[neighbour_index]
+                if neighbour.vrange.overlaps(segment.vrange):
+                    raise ValueError(
+                        f"segment {segment.vrange} overlaps existing {neighbour.vrange}"
+                    )
+        self._segments.insert(position, segment)
+        self._lows.insert(position, segment.vrange.low)
+        self._highs.insert(position, segment.vrange.high)
+
+    def add(self, segment: Segment) -> None:
+        """Insert a segment, keeping the list ordered and non-overlapping."""
+        self._add_staged(segment)
+        self._publish()
+
+    def replace(self, old: Segment, new_segments: list[Segment]) -> None:
+        """Replace ``old`` with its sub-segments (after an adaptive split).
+
+        ``old`` is located by bisecting the low-bound cache — segments are
+        non-overlapping, so their lows are unique — instead of an O(n)
+        linear scan.  The whole replacement is staged in the writer-owned
+        lists first and published as one snapshot, so readers never see the
+        gap between removal and re-insertion.
+        """
+        position = bisect.bisect_left(self._lows, old.vrange.low)
+        while (
+            position < len(self._segments)
+            and self._lows[position] == old.vrange.low
+            and self._segments[position] is not old
+        ):
+            position += 1
+        if position >= len(self._segments) or self._segments[position] is not old:
+            raise KeyError(f"segment {old.vrange} is not in the index")
+        del self._segments[position]
+        del self._lows[position]
+        del self._highs[position]
+        for offset, segment in enumerate(sorted(new_segments, key=lambda s: s.vrange.low)):
+            self._segments.insert(position + offset, segment)
+            self._lows.insert(position + offset, segment.vrange.low)
+            self._highs.insert(position + offset, segment.vrange.high)
+        self._publish()
+
+    # -- lookups ------------------------------------------------------------
+
+    def overlapping(self, vrange: ValueRange) -> list[Segment]:
+        """Segments whose range overlaps ``vrange`` (in value order)."""
+        return self._snapshot.overlapping(vrange)
+
+    def overlapping_classified(self, vrange: ValueRange) -> list[tuple[Segment, bool]]:
+        """Overlapping segments in value order, tagged *fully contained*."""
+        return self._snapshot.overlapping_classified(vrange)
+
+    def route_many(self, lows: np.ndarray, highs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized overlap lookup (see :meth:`MetaIndexSnapshot.route_many`)."""
+        return self._snapshot.route_many(lows, highs)
+
+    def covering(self, value: float) -> Segment | None:
+        """The segment containing ``value``, or ``None``."""
+        return self._snapshot.covering(value)
+
+    def estimated_footprint_bytes(self, vrange: ValueRange) -> float:
+        """Estimated bytes that must be read to answer a predicate on ``vrange``."""
+        return self._snapshot.estimated_footprint_bytes(vrange)
+
     # -- integrity -----------------------------------------------------------
 
     def check_invariants(self) -> None:
-        """Verify ordering, adjacency bookkeeping and per-segment invariants."""
-        for first, second in zip(self._segments, self._segments[1:]):
-            if first.vrange.high > second.vrange.low:
+        """Verify ordering, bookkeeping, snapshot publication and per-segment
+        invariants — without building throwaway lists, so stress tests can
+        call this on every iteration.
+        """
+        segments = self._segments
+        lows = self._lows
+        highs = self._highs
+        if not (len(segments) == len(lows) == len(highs)):
+            raise AssertionError("meta-index bound caches disagree on length")
+        previous_high = -float("inf")
+        for index, segment in enumerate(segments):
+            vrange = segment.vrange
+            if vrange.low < previous_high:
                 raise AssertionError(
-                    f"segments {first.vrange} and {second.vrange} overlap or are out of order"
+                    f"segment {vrange} overlaps its predecessor or is out of order"
                 )
-        if [s.vrange.low for s in self._segments] != self._lows:
-            raise AssertionError("meta-index low-bound cache is stale")
-        if [s.vrange.high for s in self._segments] != self._highs:
-            raise AssertionError("meta-index high-bound cache is stale")
-        for segment in self._segments:
+            previous_high = vrange.high
+            if lows[index] != vrange.low:
+                raise AssertionError("meta-index low-bound cache is stale")
+            if highs[index] != vrange.high:
+                raise AssertionError("meta-index high-bound cache is stale")
             segment.check_invariants()
+        snapshot = self._snapshot
+        if snapshot.generation != self._generation:
+            raise AssertionError(
+                f"published snapshot generation {snapshot.generation} lags "
+                f"index generation {self._generation}"
+            )
+        if self._generation < self._checked_generation:
+            raise AssertionError(
+                f"snapshot generation moved backwards: {self._generation} < "
+                f"{self._checked_generation}"
+            )
+        self._checked_generation = self._generation
+        if len(snapshot.segments) != len(segments):
+            raise AssertionError("published snapshot is stale (length mismatch)")
+        for live, published in zip(segments, snapshot.segments):
+            if live is not published:
+                raise AssertionError("published snapshot is stale (segment mismatch)")

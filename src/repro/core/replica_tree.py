@@ -13,8 +13,11 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+import numpy as np
+
 from repro.core.ranges import ValueRange
-from repro.core.segment import Segment
+from repro.core.segment import Segment, SelectionResult
+from repro.util.sorted_search import sorted_probe
 
 
 class ReplicaNode:
@@ -217,3 +220,129 @@ class ReplicaTree:
                     f"virtual leaf {node.vrange} has no materialized ancestor; "
                     "queries hitting it could not be answered"
                 )
+
+
+class FrozenReplicaNode:
+    """An immutable copy of one replica-tree node for snapshot readers.
+
+    Unlike segmentation segments — which are never mutated after creation —
+    a live :class:`ReplicaNode`'s segment is mutated in place
+    (``materialize_from`` swaps the payload in, ``free`` nulls it out), so a
+    snapshot must capture the *payload array references*, not the live
+    ``Segment`` objects.  The captured numpy views stay valid after a later
+    ``free()`` because freeing only drops the segment's references.
+    """
+
+    __slots__ = ("vrange", "values", "oids", "children")
+
+    def __init__(
+        self,
+        vrange: ValueRange,
+        values: np.ndarray | None,
+        oids: np.ndarray | None,
+        children: tuple["FrozenReplicaNode", ...],
+    ) -> None:
+        self.vrange = vrange
+        self.values = values
+        self.oids = oids
+        self.children = children
+
+    @property
+    def materialized(self) -> bool:
+        return self.values is not None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def select(self, query: ValueRange) -> SelectionResult:
+        """Extract the values/oids falling into ``query`` — zero-copy views.
+
+        Mirrors :meth:`Segment.bounds` / :meth:`Segment.select` exactly:
+        the fully-contained case is answered from range metadata alone,
+        otherwise two ``side="left"`` binary probes slice the sorted payload.
+        """
+        values = self.values
+        oids = self.oids
+        assert values is not None and oids is not None
+        if query.low <= self.vrange.low and query.high >= self.vrange.high:
+            return SelectionResult(values, oids, values_sorted=True)
+        lo = sorted_probe(values, query.low, side="left")
+        hi = sorted_probe(values, query.high, side="left")
+        if lo == 0 and hi == values.size:
+            return SelectionResult(values, oids, values_sorted=True)
+        return SelectionResult(values[lo:hi], oids[lo:hi], values_sorted=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "mat" if self.materialized else "vir"
+        return f"FrozenReplicaNode({self.vrange}, {kind}, children={len(self.children)})"
+
+
+class CoverSnapshot:
+    """An immutable point-in-time view of a replica tree for snapshot readers.
+
+    Captured on the owning worker (never concurrently with mutation) and
+    published by reference assignment; readers run Algorithm 3's cover
+    recursion and the per-node range probes entirely against frozen nodes,
+    so live materialization, drops and budget evictions can proceed
+    underneath without ever tearing a read.
+    """
+
+    __slots__ = ("domain", "roots", "generation", "__weakref__")
+
+    def __init__(
+        self, domain: ValueRange, roots: tuple[FrozenReplicaNode, ...], generation: int
+    ) -> None:
+        self.domain = domain
+        self.roots = roots
+        self.generation = generation
+
+    @classmethod
+    def capture(cls, tree: ReplicaTree, generation: int) -> "CoverSnapshot":
+        """Freeze the forest: every node's range, payload refs and children."""
+
+        def freeze(node: ReplicaNode) -> FrozenReplicaNode:
+            segment = node.segment
+            return FrozenReplicaNode(
+                segment.vrange,
+                segment.values,
+                segment.oids,
+                tuple(freeze(child) for child in node.children),
+            )
+
+        return cls(tree.domain, tuple(freeze(root) for root in tree.roots), generation)
+
+    def cover(self, query: ValueRange) -> list[FrozenReplicaNode]:
+        """Minimal covering set over the frozen forest (Algorithm 3).
+
+        Identical recursion to :meth:`ReplicatedColumn.get_cover` /
+        ``_cover_node``: prefer the deepest materialized descendants,
+        backtrack to a materialized ancestor whenever part of the query
+        below is only virtual.
+        """
+        cover: list[FrozenReplicaNode] = []
+        for root in self.roots:
+            if not root.vrange.overlaps(query):
+                continue
+            sub = self._cover_node(root, query)
+            if sub is None:
+                raise RuntimeError(
+                    f"replica snapshot cannot cover query {query}: invariant violated"
+                )
+            cover.extend(sub)
+        return cover
+
+    def _cover_node(
+        self, node: FrozenReplicaNode, query: ValueRange
+    ) -> list[FrozenReplicaNode] | None:
+        if node.is_leaf:
+            return [node] if node.materialized else None
+        collected: list[FrozenReplicaNode] = []
+        for child in node.children:
+            if not child.vrange.overlaps(query):
+                continue
+            sub = self._cover_node(child, query)
+            if sub is None:
+                return [node] if node.materialized else None
+            collected.extend(sub)
+        return collected

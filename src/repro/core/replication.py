@@ -26,9 +26,9 @@ import numpy as np
 from repro.core.accounting import IOAccountant, QueryLog, QueryStats
 from repro.core.models import SegmentationModel, SplitAction
 from repro.core.ranges import ValueRange, domain_of
-from repro.core.replica_tree import ReplicaNode, ReplicaTree
+from repro.core.replica_tree import CoverSnapshot, ReplicaNode, ReplicaTree
 from repro.core.segment import SelectionResult, Segment
-from repro.core.strategy import AdaptiveColumnBase, register_strategy
+from repro.core.strategy import AdaptiveColumnBase, ReadObservations, register_strategy
 
 
 @register_strategy
@@ -50,6 +50,7 @@ class ReplicatedColumn(AdaptiveColumnBase):
     #: minimal cover depends on the replicas the previous one materialized —
     #: a batch kernel would have to re-derive the tree per member anyway.
     supports_batch = False
+    supports_snapshot_reads = True
 
     def __init__(
         self,
@@ -90,6 +91,10 @@ class ReplicatedColumn(AdaptiveColumnBase):
         self.storage_budget = storage_budget
         self._last_access: dict[int, int] = {}
         self.peak_storage_bytes = self.total_bytes
+        self._read_observations = ReadObservations()
+        self._snapshot_generation = 0
+        self._cover_dirty = False
+        self._cover_snapshot = CoverSnapshot.capture(self.tree, 0)
 
     # -- public API --------------------------------------------------------
 
@@ -133,7 +138,77 @@ class ReplicatedColumn(AdaptiveColumnBase):
         if self.history is not None:
             self.history.append(stats)
         self.model.observe(result.count * self.value_width)
+        # Publish a fresh cover snapshot once per mutating query, outside the
+        # per-phase timings: one reference assignment makes the new layout
+        # visible to readers, which keep their pinned snapshots meanwhile.
+        if self._cover_dirty:
+            self._publish_snapshot()
         return result
+
+    # -- snapshot reads -------------------------------------------------------
+
+    def _publish_snapshot(self) -> None:
+        self._snapshot_generation += 1
+        self._cover_snapshot = CoverSnapshot.capture(self.tree, self._snapshot_generation)
+        self._cover_dirty = False
+
+    def pin_snapshot(self) -> CoverSnapshot:
+        """Pin the current immutable cover snapshot (one reference grab).
+
+        Snapshots capture payload *array references*, not live segments, so a
+        pinned snapshot keeps answering correctly even after budget evictions
+        ``free()`` the corresponding live nodes.
+        """
+        return self._cover_snapshot
+
+    def select_readonly(
+        self, low: float, high: float, snapshot: CoverSnapshot | None = None
+    ) -> SelectionResult:
+        """Answer ``low <= value < high`` from a pinned snapshot, adaptation-free.
+
+        Runs Algorithm 3's cover recursion and the per-node sorted probes
+        against the frozen forest — no replica analysis, no materialization,
+        no budget enforcement, no accounting.  The observation is recorded
+        into :attr:`read_observations` for the owning worker.
+        """
+        query = ValueRange(float(low), float(high)).intersect(self.domain)
+        if query.is_empty:
+            self.read_observations.record(float(low), float(high), 0.0)
+            return SelectionResult.empty(self.dtype)
+        snap = snapshot if snapshot is not None else self._cover_snapshot
+        parts = [node.select(query) for node in snap.cover(query)]
+        result = SelectionResult.concatenate(parts, self.dtype)
+        self.read_observations.record(float(low), float(high), result.count * self.value_width)
+        return result
+
+    def absorb_reads(self) -> int:
+        """Absorb drained snapshot-read observations on the owning worker.
+
+        Replication's structural adaptation (replica analysis, materialization,
+        drops) is deliberately *not* replayed here: Algorithm 2 interleaves it
+        with the covering scan, and each query's minimal cover depends on the
+        replicas the previous one materialized — replaying stale covers would
+        materialize replicas nobody scanned for.  Snapshot reads therefore
+        only feed the segmentation model's result-size average and the query
+        ledger; the next mutating ``select`` adapts from fresh state.
+        """
+        bounds, result_bytes = self.read_observations.drain()
+        if not bounds:
+            return 0
+        stats = QueryStats(
+            index=self._queries_executed,
+            low=min(low for low, _ in bounds),
+            high=max(high for _, high in bounds),
+            batch_size=len(bounds),
+        )
+        stats.result_count = int(round(sum(result_bytes) / self.value_width))
+        stats.segment_count = self.segment_count
+        stats.storage_bytes = self.storage_bytes
+        self._queries_executed += len(bounds)
+        if self.history is not None:
+            self.history.append(stats)
+        self.model.observe(sum(result_bytes) / len(bounds))
+        return len(bounds)
 
     # -- Algorithm 2: the per-query driver -----------------------------------
 
@@ -234,6 +309,7 @@ class ReplicatedColumn(AdaptiveColumnBase):
                 to_materialize.append(node)
             return
         materialize_ranges = self._query_side_pieces(pieces, query, decision.action)
+        self._cover_dirty = True
         for piece in pieces:
             child_segment = Segment(
                 piece,
@@ -272,6 +348,8 @@ class ReplicatedColumn(AdaptiveColumnBase):
         payload (:meth:`ReplicaNode.materialize_from`); the write accounting
         records the logical bytes of each replica exactly as before.
         """
+        if to_materialize:
+            self._cover_dirty = True
         for node in to_materialize:
             piece = node.materialize_from(cover_node)
             self.accountant.record_write(piece.size_bytes, piece)
@@ -291,6 +369,7 @@ class ReplicatedColumn(AdaptiveColumnBase):
             self.tree.splice_out(node)
             self._last_access.pop(id(node), None)
             stats.segments_dropped += 1
+            self._cover_dirty = True
             node = parent
 
     # -- storage budget (extension) ---------------------------------------------------
@@ -315,6 +394,7 @@ class ReplicatedColumn(AdaptiveColumnBase):
                 break
             node.segment.free()
             stats.segments_dropped += 1
+            self._cover_dirty = True
 
     @staticmethod
     def _has_materialized_ancestor(node: ReplicaNode) -> bool:

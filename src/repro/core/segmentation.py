@@ -25,11 +25,16 @@ import numpy as np
 from typing import Sequence
 
 from repro.core.accounting import IOAccountant, QueryLog, QueryStats
-from repro.core.meta_index import SegmentMetaIndex
+from repro.core.meta_index import MetaIndexSnapshot, SegmentMetaIndex
 from repro.core.models import SegmentationModel
 from repro.core.ranges import ValueRange, domain_of
 from repro.core.segment import SelectionResult, Segment
-from repro.core.strategy import AdaptiveColumnBase, batch_bounds_arrays, register_strategy
+from repro.core.strategy import (
+    AdaptiveColumnBase,
+    ReadObservations,
+    batch_bounds_arrays,
+    register_strategy,
+)
 
 
 @register_strategy
@@ -59,6 +64,7 @@ class SegmentedColumn(AdaptiveColumnBase):
     requires_model = True
     display_short = "Segm"
     supports_batch = True
+    supports_snapshot_reads = True
 
     def __init__(
         self,
@@ -90,6 +96,7 @@ class SegmentedColumn(AdaptiveColumnBase):
         self.history: QueryLog | None = QueryLog() if keep_history else None
         self._time_phases = time_phases
         self._queries_executed = 0
+        self._read_observations = ReadObservations()
 
     # -- public API ---------------------------------------------------------
 
@@ -181,6 +188,96 @@ class SegmentedColumn(AdaptiveColumnBase):
             self.history.append(stats)
         self.model.observe(stats.result_count * self.value_width / lows.size)
         return results
+
+    # -- snapshot reads -------------------------------------------------------
+
+    def pin_snapshot(self) -> MetaIndexSnapshot:
+        """Pin the current immutable segment-list snapshot (one reference grab)."""
+        return self.meta_index.pin_snapshot()
+
+    def select_readonly(
+        self, low: float, high: float, snapshot: MetaIndexSnapshot | None = None
+    ) -> SelectionResult:
+        """Answer ``low <= value < high`` from a pinned snapshot, adaptation-free.
+
+        Runs the exact read half of :meth:`select` against ``snapshot`` (or a
+        freshly pinned one): meta-index overlap lookup, the fully-contained
+        fast path, zero-copy probe slices.  It never splits, never touches
+        the IO accountant or the query history — the observation goes into
+        :attr:`read_observations` for the owning worker to absorb later — so
+        reader threads can call it concurrently with live adaptation.
+        """
+        query = ValueRange(float(low), float(high))
+        snap = snapshot if snapshot is not None else self.meta_index.pin_snapshot()
+        parts: list[SelectionResult] = []
+        for segment, fully_contained in snap.overlapping_classified(query):
+            if fully_contained:
+                parts.append(SelectionResult(segment.values, segment.oids, values_sorted=True))
+            else:
+                parts.append(segment.select(query))
+        result = SelectionResult.concatenate(parts, self.dtype)
+        self.read_observations.record(query.low, query.high, result.count * self.value_width)
+        return result
+
+    def absorb_reads(self) -> int:
+        """Replay drained snapshot-read observations into the adaptation path.
+
+        Runs on the owning worker, mirroring the deferred-adaptation shape of
+        :meth:`select_many`: route every drained range against the *current*
+        segment list, give each touched segment one split decision against
+        the envelope of its member ranges, and feed the model the mean result
+        size.  The ``(segment, envelope)`` jobs are collected before any
+        split, because splitting shifts meta-index positions.  One
+        :class:`QueryStats` record with ``batch_size == absorbed count``
+        lands in :attr:`history`; snapshot reads themselves were not
+        accounted, so only split writes touch the accountant here.
+        """
+        bounds, result_bytes = self.read_observations.drain()
+        if not bounds:
+            return 0
+        lows = np.asarray([low for low, _ in bounds], dtype=np.float64)
+        highs = np.asarray([high for _, high in bounds], dtype=np.float64)
+        stats = QueryStats(
+            index=self._queries_executed,
+            low=float(lows.min()),
+            high=float(highs.max()),
+            batch_size=int(lows.size),
+        )
+        started = self._now()
+        starts, stops = self.meta_index.route_many(lows, highs)
+        low_list = lows.tolist()
+        high_list = highs.tolist()
+        touched: dict[int, list[int]] = {}
+        for q, (start, stop) in enumerate(zip(starts.tolist(), stops.tolist())):
+            for s in range(start, stop):
+                touched.setdefault(s, []).append(q)
+        split_jobs = [
+            (
+                self.meta_index[s],
+                ValueRange(
+                    min(low_list[q] for q in queries),
+                    max(high_list[q] for q in queries),
+                ),
+            )
+            for s, queries in sorted(touched.items())
+        ]
+        self.accountant.attach(stats)
+        try:
+            for segment, envelope in split_jobs:
+                decision = self.model.decide(envelope, segment, total_bytes=self.total_bytes)
+                if decision.should_split:
+                    self._split(segment, list(decision.points), stats)
+        finally:
+            self.accountant.detach()
+        stats.adaptation_seconds += self._now() - started
+        stats.result_count = int(round(sum(result_bytes) / self.value_width))
+        stats.segment_count = self.segment_count
+        stats.storage_bytes = self.storage_bytes
+        self._queries_executed += int(lows.size)
+        if self.history is not None:
+            self.history.append(stats)
+        self.model.observe(sum(result_bytes) / lows.size)
+        return int(lows.size)
 
     # -- internals ------------------------------------------------------------
 

@@ -26,6 +26,7 @@ Public surface:
 from __future__ import annotations
 
 import inspect
+import threading
 from typing import Any, ClassVar, Protocol, Sequence, runtime_checkable
 
 import numpy as np
@@ -33,6 +34,45 @@ import numpy as np
 from repro.core.accounting import QueryLog, QueryStats
 from repro.core.ranges import ValueRange
 from repro.core.segment import SelectionResult
+
+
+class ReadObservations:
+    """Thread-safe accumulator for snapshot-read observations.
+
+    Snapshot readers never mutate the column, its IO accountant or its query
+    history — they only record *what they saw* here (query bounds and result
+    sizes) under one small lock.  The owning worker later drains the
+    accumulator on the serialized adaptation path (:meth:`absorb_reads`), so
+    the single-writer invariant holds for every adaptive structure while
+    reads run concurrently.
+    """
+
+    __slots__ = ("_lock", "_bounds", "_result_bytes")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._bounds: list[tuple[float, float]] = []
+        self._result_bytes: list[float] = []
+
+    def record(self, low: float, high: float, result_bytes: float) -> None:
+        """Record one snapshot read (called from reader threads)."""
+        with self._lock:
+            self._bounds.append((low, high))
+            self._result_bytes.append(float(result_bytes))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._bounds)
+
+    def drain(self) -> tuple[list[tuple[float, float]], list[float]]:
+        """Take every pending observation (called from the owning worker)."""
+        with self._lock:
+            bounds, self._bounds = self._bounds, []
+            result_bytes, self._result_bytes = self._result_bytes, []
+        return bounds, result_bytes
+
+
+_read_observations_init_lock = threading.Lock()
 
 
 def batch_bounds_arrays(
@@ -120,6 +160,11 @@ class AdaptiveColumnBase:
     #: means the sequential fallback below answers batches one query at a
     #: time (correct for every strategy; just not amortized).
     supports_batch: ClassVar[bool] = False
+    #: Whether :meth:`select_readonly` answers from a pinned immutable
+    #: snapshot without mutating any shared state, so reader threads can
+    #: call it concurrently with adaptation on the owning worker.  ``False``
+    #: keeps the strategy on the serialized single-worker path.
+    supports_snapshot_reads: ClassVar[bool] = False
 
     # Concrete subclasses provide these (declared for type checkers only).
     history: QueryLog | None
@@ -154,6 +199,60 @@ class AdaptiveColumnBase:
         strategy is batch-correct by construction.
         """
         return [self.select(low, high) for low, high in bounds]
+
+    # -- snapshot reads ----------------------------------------------------
+
+    @property
+    def read_observations(self) -> ReadObservations:
+        """The column's snapshot-read accumulator (created lazily, once).
+
+        Built-ins create it eagerly in ``__init__``; for plugged-in
+        strategies the double-checked module lock below makes lazy creation
+        safe even if the first readers race.
+        """
+        observations = getattr(self, "_read_observations", None)
+        if observations is None:
+            with _read_observations_init_lock:
+                observations = getattr(self, "_read_observations", None)
+                if observations is None:
+                    observations = ReadObservations()
+                    self._read_observations = observations
+        return observations
+
+    def pin_snapshot(self) -> Any | None:
+        """Pin an immutable snapshot of the read structure (or ``None``).
+
+        ``None`` means the strategy needs no snapshot object — either its
+        read structure is inherently immutable (the unsegmented baseline) or
+        it does not support snapshot reads at all.
+        """
+        return None
+
+    def select_readonly(
+        self, low: float, high: float, snapshot: Any | None = None
+    ) -> SelectionResult:
+        """Answer one range selection against a pinned snapshot.
+
+        Unlike :meth:`select`, this never adapts, never touches the IO
+        accountant or the query history, and records its observation into
+        :attr:`read_observations` instead — safe to call from reader threads
+        concurrently with adaptation, when ``supports_snapshot_reads`` is
+        ``True``.
+        """
+        raise NotImplementedError(
+            f"strategy {self.strategy_name!r} does not support snapshot reads"
+        )
+
+    def absorb_reads(self) -> int:
+        """Drain pending snapshot-read observations on the owning worker.
+
+        The base implementation discards the drained observations (a
+        strategy with no adaptation model has nothing to feed); strategies
+        override it to replay the observations into their piggy-backed
+        adaptation machinery.  Returns the number of observations absorbed.
+        """
+        bounds, _ = self.read_observations.drain()
+        return len(bounds)
 
     def adapt(self, low: float, high: float) -> QueryStats | None:
         """Run one selection purely for its adaptation side effect.

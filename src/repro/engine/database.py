@@ -5,6 +5,7 @@ from __future__ import annotations
 import math
 import time
 import warnings
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -175,6 +176,13 @@ class Database:
         self._context_pool: list[ExecutionContext] = []
         self._batch_stats = _BatchStats()
         self._adaptive_configs: dict[tuple[str, str], dict[str, Any]] = {}
+        #: How many reader threads :meth:`execute_wave` may fan read-only
+        #: members across (1 = fully serialized, today's behaviour).  The
+        #: self-tuner prices this through the ``read_workers`` knob.
+        self.read_workers = 1
+        self._reader_pool: ThreadPoolExecutor | None = None
+        self._reader_pool_size = 0
+        self._readonly_templates: dict[str, tuple[int, _BatchSpec | None]] = {}
 
     # -- schema and data -----------------------------------------------------
 
@@ -629,6 +637,7 @@ class Database:
         requests: Sequence[tuple[PreparedPlan, tuple[float, ...]]],
         *,
         isolate: bool = False,
+        readers: int | None = None,
     ) -> list[QueryResult | BaseException]:
         """One admission wave: bound statements from many clients, one batch pass.
 
@@ -654,16 +663,28 @@ class Database:
         exception escaping ``isolate=True`` is therefore infrastructure-level
         (the engine itself is broken), which is exactly the signal the
         router's failure detector wants.
+
+        ``readers`` (default: :attr:`read_workers`) sizes the snapshot-read
+        fan-out: with more than one reader, wave members that are bound range
+        selects over snapshot-capable adaptive columns are answered
+        concurrently against pinned index snapshots on a thread pool (numpy
+        probe/gather kernels release the GIL) while everything else — DDL,
+        non-batchable statements, adaptation — stays serialized on the
+        calling worker thread; the drained read observations are absorbed
+        into the adaptation path once per wave, after the readers finish.
         """
         requests = list(requests)
+        workers = self.read_workers if readers is None else int(readers)
+        if workers > 1 and len(requests) > 1:
+            return self._execute_wave_readers(requests, workers, isolate=isolate)
         if isolate:
             try:
-                return self.execute_wave(requests)
+                return self.execute_wave(requests, readers=1)
             except Exception:  # noqa: BLE001 - replayed per member below
                 out: list[QueryResult | BaseException] = []
                 for request in requests:
                     try:
-                        out.extend(self.execute_wave([request]))
+                        out.extend(self.execute_wave([request], readers=1))
                     except Exception as exc:  # noqa: BLE001 - isolated to its slot
                         out.append(exc)
                 return out
@@ -699,6 +720,244 @@ class Database:
             if result.batched:  # the shared scan records the placeholder text only
                 result.parameters = tuple(values)
         return results
+
+    # -- snapshot reads -------------------------------------------------------
+
+    def execute_readonly(
+        self, query: PreparedPlan | str, parameters: Sequence[float] = ()
+    ) -> QueryResult:
+        """Run one bound range select against a pinned index snapshot.
+
+        The single-query face of the snapshot-read path: pin the column's
+        immutable snapshot, answer the predicate against it (no piggy-backed
+        adaptation during the read), then absorb the read observation into
+        the adaptation path — so a stream of ``execute_readonly`` calls
+        adapts the layout just like :meth:`execute_prepared`, but the read
+        itself can never race a reorganization.  Must be called on the
+        thread that owns the engine (concurrent fan-out belongs to
+        :meth:`execute_wave`); queries the snapshot path cannot answer
+        (aggregates, unmanaged or snapshot-less columns, pending deltas)
+        fall back to the conventional path transparently.
+        """
+        if isinstance(query, PreparedPlan):
+            prepared = query
+            if prepared.generation != self.plan_cache.generation:
+                prepared = self.prepare_statement(prepared.sql)
+        else:
+            prepared = self.prepare_statement(str(query))
+        values = prepared.binding.bind(parameters)
+        template = self._readonly_template(prepared)
+        spec = template.with_bound_values(values) if template is not None else None
+        adaptive = self._snapshot_adaptive(spec)
+        if spec is None or adaptive is None:
+            return self._run_prepared(prepared, values)
+        arrays = {
+            (spec.table, name): self.catalog.column(spec.table, name).bind(0).tail
+            for name in spec.projected
+        }
+        result = self._snapshot_read(
+            prepared.sql, values, spec, adaptive, adaptive.pin_snapshot(), arrays
+        )
+        adaptive.absorb_reads()
+        self.query_history.append(result)
+        return result
+
+    def _readonly_template(self, prepared: PreparedPlan) -> _BatchSpec | None:
+        """The statement's batch-spec template when snapshot-read eligible.
+
+        Cached per normalized SQL text and invalidated by plan-cache
+        generation, so schema/adaptive changes re-derive it.
+        """
+        cached = self._readonly_templates.get(prepared.sql)
+        generation = self.plan_cache.generation
+        if cached is not None and cached[0] == generation:
+            return cached[1]
+        template = (
+            self._batch_spec(prepared.statement)
+            if self._batchable(prepared.statement)
+            else None
+        )
+        # A verdict taken while deltas are pending is transient (``_batchable``
+        # folds the delta state in) but this cache is only invalidated by
+        # plan-cache generation, which data changes deliberately never bump —
+        # so don't let a delta-time ``None`` (or a pre-delta template) stick.
+        try:
+            pending = self.catalog.table(prepared.statement.table).has_deltas
+        except KeyError:
+            pending = False
+        if not pending:
+            self._readonly_templates[prepared.sql] = (generation, template)
+        return template
+
+    def _snapshot_adaptive(self, spec: _BatchSpec | None) -> Any | None:
+        """The snapshot-capable strategy behind ``spec``'s column, or ``None``."""
+        if spec is None or not self.bpm.is_managed(spec.table, spec.column):
+            return None
+        if self.catalog.table(spec.table).has_deltas:
+            # Pending delta BATs take the full Figure-1 cascade; the pinned
+            # snapshot only knows the flushed payload.
+            return None
+        adaptive = self.bpm.handle(spec.table, spec.column).adaptive
+        if not getattr(adaptive, "supports_snapshot_reads", False):
+            return None
+        return adaptive
+
+    def _snapshot_read(
+        self,
+        sql: str,
+        values: tuple[float, ...],
+        spec: _BatchSpec,
+        adaptive: Any,
+        snapshot: Any | None,
+        arrays: dict[tuple[str, str], np.ndarray],
+    ) -> QueryResult:
+        """Answer one member against a pinned snapshot (reader-thread safe).
+
+        Touches only immutable state: the pinned snapshot, the pre-resolved
+        projection ``arrays`` and the strategy's thread-safe observation
+        accumulator.  No plan-cache, catalog, accountant or history access.
+        """
+        total_started = time.perf_counter()
+        low, high, include_low, include_high = spec.bounds
+        lo, hi = BatPartitionManager._half_open_bounds(
+            adaptive, low, high, include_low, include_high
+        )
+        selection = adaptive.select_readonly(lo, hi, snapshot)
+        selection_seconds = time.perf_counter() - total_started
+        oids = selection.oids
+        columns = {
+            name: arrays[(spec.table, name)][oids] for name in spec.projected
+        }
+        return QueryResult(
+            sql=sql,
+            parameters=tuple(values),
+            columns=columns,
+            plan_text=f"# snapshot read on {spec.table}.{spec.column}",
+            total_seconds=time.perf_counter() - total_started,
+            selection_seconds=selection_seconds,
+            plan_cache_hit=True,
+            cache_level="snapshot",
+            plan_cache_hits=self.plan_cache.hits,
+            plan_cache_misses=self.plan_cache.misses,
+            profile=QueryProfile(cold=False),
+        )
+
+    def _reader_executor(self, workers: int) -> ThreadPoolExecutor:
+        """The lazily built (and grown on demand) snapshot-reader pool."""
+        if self._reader_pool is None or self._reader_pool_size < workers:
+            if self._reader_pool is not None:
+                self._reader_pool.shutdown(wait=False)
+            self._reader_pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-reader"
+            )
+            self._reader_pool_size = workers
+        return self._reader_pool
+
+    def _execute_wave_readers(
+        self,
+        requests: list[tuple[PreparedPlan, tuple[float, ...]]],
+        workers: int,
+        *,
+        isolate: bool,
+    ) -> list[QueryResult | BaseException]:
+        """Fan a wave's read-only members across the snapshot-reader pool.
+
+        Classification happens on the calling worker: a member is *read-only*
+        when it is a batchable bound range select over a snapshot-capable
+        adaptive column.  Read-only members run concurrently against one
+        pinned snapshot per column; everything else takes the standard
+        serialized wave path first (preserving its batching among itself).
+        After the readers join, each touched column absorbs its drained read
+        observations — adaptation stays on this thread, once per wave.
+        """
+        fresh: dict[int, PreparedPlan] = {}
+        readonly: list[tuple[int, PreparedPlan, tuple[float, ...], _BatchSpec, Any]] = []
+        serial: list[tuple[int, PreparedPlan, tuple[float, ...]]] = []
+        for index, (prepared, values) in enumerate(requests):
+            key = id(prepared)
+            current = fresh.get(key)
+            if current is None:
+                current = prepared
+                if current.generation != self.plan_cache.generation:
+                    current = self.prepare_statement(current.sql)
+                fresh[key] = current
+            template = self._readonly_template(current)
+            spec = template.with_bound_values(values) if template is not None else None
+            adaptive = self._snapshot_adaptive(spec)
+            if spec is not None and adaptive is not None:
+                readonly.append((index, current, values, spec, adaptive))
+            else:
+                serial.append((index, current, values))
+
+        slots: list[QueryResult | BaseException | None] = [None] * len(requests)
+
+        if serial:
+            serial_results = self.execute_wave(
+                [(prepared, values) for _, prepared, values in serial],
+                isolate=isolate,
+                readers=1,
+            )
+            for (index, _, _), result in zip(serial, serial_results):
+                slots[index] = result
+
+        if readonly:
+            # Pin one snapshot per column and pre-resolve every projection
+            # array on this thread — readers touch no shared mutable state.
+            snapshots: dict[tuple[str, str], Any] = {}
+            arrays: dict[tuple[str, str], np.ndarray] = {}
+            for _, _, _, spec, adaptive in readonly:
+                column_key = (spec.table, spec.column)
+                if column_key not in snapshots:
+                    snapshots[column_key] = adaptive.pin_snapshot()
+                for name in spec.projected:
+                    array_key = (spec.table, name)
+                    if array_key not in arrays:
+                        arrays[array_key] = (
+                            self.catalog.column(spec.table, name).bind(0).tail
+                        )
+
+            def run_chunk(
+                chunk: list[tuple[int, PreparedPlan, tuple[float, ...], _BatchSpec, Any]]
+            ) -> list[tuple[int, QueryResult | BaseException]]:
+                out: list[tuple[int, QueryResult | BaseException]] = []
+                for index, prepared, values, spec, adaptive in chunk:
+                    try:
+                        out.append(
+                            (
+                                index,
+                                self._snapshot_read(
+                                    prepared.sql,
+                                    values,
+                                    spec,
+                                    adaptive,
+                                    snapshots[(spec.table, spec.column)],
+                                    arrays,
+                                ),
+                            )
+                        )
+                    except Exception as exc:  # noqa: BLE001 - isolated to its slot
+                        out.append((index, exc))
+                return out
+
+            chunk_count = min(workers, len(readonly))
+            chunks = [readonly[offset::chunk_count] for offset in range(chunk_count)]
+            pool = self._reader_executor(workers)
+            futures = [pool.submit(run_chunk, chunk) for chunk in chunks]
+            for future in futures:
+                for index, outcome in future.result():
+                    slots[index] = outcome
+            for (table, column) in snapshots:
+                self.bpm.handle(table, column).adaptive.absorb_reads()
+            for index, _, _, _, _ in readonly:
+                outcome = slots[index]
+                if isinstance(outcome, QueryResult):
+                    self.query_history.append(outcome)
+
+        if not isolate:
+            for outcome in slots:
+                if isinstance(outcome, BaseException):
+                    raise outcome
+        return slots  # type: ignore[return-value]
 
     def _run_prepared(self, prepared: PreparedPlan, values: tuple[float, ...]) -> QueryResult:
         """Execute a prepared plan with already-validated bound values."""

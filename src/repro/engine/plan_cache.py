@@ -33,6 +33,7 @@ callables, not data.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable
@@ -183,6 +184,11 @@ class PlanCache:
         self.generation = 0
         # level name -> [hits, misses, evictions]
         self._level_counters: dict[str, list[int]] = {}
+        # One lock covers store and counters: reader threads resolving plans
+        # concurrently with an owner-thread clear() must never observe a
+        # half-updated LRU (OrderedDict.move_to_end is not atomic under
+        # free-threaded builds, and counter increments race regardless).
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -195,29 +201,31 @@ class PlanCache:
 
     def get(self, key: Hashable) -> Any | None:
         """The cached entry for ``key``, refreshing its recency; counts hit/miss."""
-        plan = self._plans.get(key)
-        # Inlined level tagging: this runs on every warm-path lookup.
-        level = key[0] if type(key) is tuple and key else "other"
-        counters = self._level_counters.get(level)
-        if counters is None:
-            counters = self._level_counters[level] = [0, 0, 0]
-        if plan is None:
-            self.misses += 1
-            counters[1] += 1
-            return None
-        self._plans.move_to_end(key)
-        self.hits += 1
-        counters[0] += 1
-        return plan
+        with self._lock:
+            plan = self._plans.get(key)
+            # Inlined level tagging: this runs on every warm-path lookup.
+            level = key[0] if type(key) is tuple and key else "other"
+            counters = self._level_counters.get(level)
+            if counters is None:
+                counters = self._level_counters[level] = [0, 0, 0]
+            if plan is None:
+                self.misses += 1
+                counters[1] += 1
+                return None
+            self._plans.move_to_end(key)
+            self.hits += 1
+            counters[0] += 1
+            return plan
 
     def put(self, key: Hashable, plan: Any) -> None:
         """Store an entry, evicting the least recently used one when full."""
-        self._plans[key] = plan
-        self._plans.move_to_end(key)
-        while len(self._plans) > self.capacity:
-            evicted_key, _ = self._plans.popitem(last=False)
-            self.evictions += 1
-            self._counters(_level_of(evicted_key))[2] += 1
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.capacity:
+                evicted_key, _ = self._plans.popitem(last=False)
+                self.evictions += 1
+                self._counters(_level_of(evicted_key))[2] += 1
 
     def level_stats(self) -> dict[str, PlanCacheLevelStats]:
         """Per-level counters, including levels that saw lookups but hold nothing.
@@ -226,20 +234,21 @@ class PlanCache:
         ``prepared``).  Entry counts are computed by a scan over the resident
         keys — this is an administrative surface, not a hot path.
         """
-        entries: dict[str, int] = {}
-        for key in self._plans:
-            level = _level_of(key)
-            entries[level] = entries.get(level, 0) + 1
-        levels = sorted(self._level_counters.keys() | entries.keys())
-        return {
-            _LEVEL_NAMES.get(level, level): PlanCacheLevelStats(
-                hits=self._level_counters.get(level, [0, 0, 0])[0],
-                misses=self._level_counters.get(level, [0, 0, 0])[1],
-                evictions=self._level_counters.get(level, [0, 0, 0])[2],
-                entries=entries.get(level, 0),
-            )
-            for level in levels
-        }
+        with self._lock:
+            entries: dict[str, int] = {}
+            for key in self._plans:
+                level = _level_of(key)
+                entries[level] = entries.get(level, 0) + 1
+            levels = sorted(self._level_counters.keys() | entries.keys())
+            return {
+                _LEVEL_NAMES.get(level, level): PlanCacheLevelStats(
+                    hits=self._level_counters.get(level, [0, 0, 0])[0],
+                    misses=self._level_counters.get(level, [0, 0, 0])[1],
+                    evictions=self._level_counters.get(level, [0, 0, 0])[2],
+                    entries=entries.get(level, 0),
+                )
+                for level in levels
+            }
 
     def clear(self) -> None:
         """Drop every cached plan (schema or adaptive registration changed).
@@ -249,10 +258,11 @@ class PlanCache:
         whether their lowered plan is stale — even when the store happened to
         be empty at clear time, the handles themselves may not be.
         """
-        if self._plans:
-            self.invalidations += 1
-        self.generation += 1
-        self._plans.clear()
+        with self._lock:
+            if self._plans:
+                self.invalidations += 1
+            self.generation += 1
+            self._plans.clear()
 
     @property
     def stats(self) -> PlanCacheStats:

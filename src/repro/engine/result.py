@@ -26,7 +26,9 @@ class QueryResult:
     plan cache, and ``cache_level`` names the level that answered it —
     ``"exact"`` (normalized text), ``"masked"`` (literal-masked text),
     ``"shape"`` (parsed shape), ``"prepared"`` (placeholder-shape binding,
-    the client API's prepared path), ``"batched"`` (the shared-scan path) or
+    the client API's prepared path), ``"batched"`` (the shared-scan path),
+    ``"snapshot"`` (a bound range select answered against a pinned index
+    snapshot by ``execute_readonly`` / the ``execute_wave`` reader pool) or
     ``"cold"`` (nothing hit; the plan was compiled for this query).
     ``plan_cache_hits``/``plan_cache_misses`` are the cache's cumulative
     counters at the time this query finished; ``batched`` marks results

@@ -33,6 +33,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-inflight", type=int, default=1024)
     parser.add_argument("--max-wave", type=int, default=256)
     parser.add_argument(
+        "--read-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="reader threads per engine for snapshot-isolated bound selects "
+        "(1 = fully serialized waves)",
+    )
+    parser.add_argument(
         "--overflow",
         choices=("error", "wait"),
         default="error",
@@ -137,6 +145,7 @@ async def _main(args: argparse.Namespace) -> None:
         injector=injector,
         self_tuning=args.self_tuning,
         tuning={"pulse_s": args.tuning_pulse_s},
+        read_workers=args.read_workers,
     )
     async with server:
         assert server.address is not None

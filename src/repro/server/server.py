@@ -109,8 +109,13 @@ class ReproServer:
         injector: Any | None = None,
         self_tuning: bool = False,
         tuning: dict[str, Any] | None = None,
+        read_workers: int = 1,
     ) -> None:
         self.database = database if database is not None else Database()
+        self.read_workers = max(1, int(read_workers))
+        # The engine worker stays the only adaptation owner; read_workers
+        # only sizes the snapshot-reader fan-out inside execute_wave.
+        self.database.read_workers = self.read_workers
         self.router: Router | None = None
         if replicas > 1:
             # Scale-out mode: the seed database becomes replica 0 of a
@@ -119,6 +124,7 @@ class ReproServer:
             knobs = dict(router_knobs or {})
             if injector is not None:
                 knobs.setdefault("injector", injector)
+            knobs.setdefault("read_workers", self.read_workers)
             self.router = Router(self.database, replicas, **knobs)
         self.engine: Any = self.router if self.router is not None else self.database
         self._executor = ThreadPoolExecutor(

@@ -15,7 +15,7 @@ derived only from the seed, so results are byte-identical to the serial run.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
 
@@ -91,6 +91,7 @@ def run_grid(
     buffer_capacity_bytes: float | None = None,
     seed: int | None = None,
     workers: int | None = None,
+    backend: str = "process",
 ) -> dict[str, ExperimentResult]:
     """Run the paper's strategy/model grid against one workload.
 
@@ -98,12 +99,17 @@ def run_grid(
     adaptive strategies reorganize data in place), so results are directly
     comparable.  Returns a mapping from the paper-style label to the result.
 
-    ``workers`` opts into a process pool over the combinations.  ``None`` or
-    ``1`` keeps the serial path (the determinism reference); any larger
-    value fans the combinations out while preserving the serial path's
-    result ordering and producing byte-identical :class:`ExperimentResult`
-    contents — each combination is seeded independently, so placement on a
-    worker cannot change its arithmetic.
+    ``workers`` opts into a pool over the combinations.  ``None`` or ``1``
+    keeps the serial path (the determinism reference); any larger value fans
+    the combinations out while preserving the serial path's result ordering
+    and producing byte-identical :class:`ExperimentResult` contents — each
+    combination copies the column, seeds its own RNG and touches no module
+    state, so placement on a worker cannot change its arithmetic.
+
+    ``backend`` selects the pool flavor: ``"process"`` (the default) forks
+    worker processes and requires picklable workloads; ``"thread"`` shares
+    the address space — no pickling, cheaper startup, and the numpy kernels
+    release the GIL, which is where the simulation spends its time.
     """
     if values is None:
         values = make_column(column_size, domain_size, seed=seed)
@@ -124,9 +130,14 @@ def run_grid(
         (model_name, strategy, workload, values, kwargs)
         for model_name, strategy in combos
     ]
+    if backend not in ("process", "thread"):
+        raise ValueError(f"unknown run_grid backend {backend!r}, expected 'process' or 'thread'")
     results: dict[str, ExperimentResult] = {}
     if workers is not None and workers > 1:
-        with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+        pool_class: type[Executor] = (
+            ProcessPoolExecutor if backend == "process" else ThreadPoolExecutor
+        )
+        with pool_class(max_workers=min(workers, len(tasks))) as pool:
             for label, result in pool.map(_run_grid_combo, tasks):
                 results[label] = result
     else:

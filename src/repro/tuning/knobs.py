@@ -45,7 +45,7 @@ class KnobSpec:
     """
 
     name: str
-    layer: str  # "storage-model" | "cluster" | "server"
+    layer: str  # "storage-model" | "engine" | "cluster" | "server"
     default: float
     low: float
     high: float
@@ -200,6 +200,14 @@ def _budgeted_columns(database: Any) -> list[Any]:
     ]
 
 
+def _snapshot_capable(database: Any) -> bool:
+    """Whether any managed column can serve snapshot-isolated reads."""
+    return any(
+        getattr(handle.adaptive, "supports_snapshot_reads", False)
+        for handle in database.bpm.handles()
+    )
+
+
 def database_knobs(database: Any) -> KnobRegistry:
     """The storage-model knobs of one engine's managed adaptive columns.
 
@@ -283,6 +291,27 @@ def database_knobs(database: Any) -> KnobRegistry:
                         "total replica bytes before LRU release kicks in "
                         "(larger = fewer evictions/rematerializations, more "
                         "memory)",
+        ))
+
+    if _snapshot_capable(database):
+
+        def _set_read_workers(value: float) -> None:
+            database.read_workers = int(value)
+
+        registry.register(KnobSpec(
+            name="read_workers",
+            layer="engine",
+            default=1,
+            low=1,
+            high=8,
+            step=1,
+            integer=True,
+            read=lambda: float(database.read_workers),
+            apply=_set_read_workers,
+            description="snapshot-reader pool size: how many threads "
+                        "execute_wave fans read-only members across against "
+                        "pinned index snapshots (1 = fully serialized; the "
+                        "adaptation path always stays single-threaded)",
         ))
     return registry
 

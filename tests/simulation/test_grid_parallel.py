@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import dataclasses
 
+import pytest
+
 from repro.simulation.runner import STRATEGY_MODEL_GRID, run_grid
 from repro.workloads.generators import make_column, uniform_workload
 
@@ -12,7 +14,7 @@ COLUMN_SIZE = 8_000
 N_QUERIES = 80
 
 
-def _run(workers=None):
+def _run(workers=None, backend="process"):
     workload = uniform_workload(N_QUERIES, DOMAIN, 0.05, seed=11)
     values = make_column(COLUMN_SIZE, int(DOMAIN[1]), seed=3)
     return run_grid(
@@ -23,6 +25,7 @@ def _run(workers=None):
         include_baseline=True,
         seed=5,
         workers=workers,
+        backend=backend,
     )
 
 
@@ -54,6 +57,23 @@ def test_workers_one_takes_the_serial_path():
     serial = _run(workers=None)
     one = _run(workers=1)
     _assert_identical(serial, one)
+
+
+def test_thread_backend_is_byte_identical_to_serial():
+    serial = _run(workers=None)
+    threaded = _run(workers=4, backend="thread")
+    _assert_identical(serial, threaded)
+
+
+def test_thread_backend_is_byte_identical_to_process_backend():
+    process = _run(workers=2, backend="process")
+    threaded = _run(workers=2, backend="thread")
+    _assert_identical(process, threaded)
+
+
+def test_unknown_backend_is_rejected():
+    with pytest.raises(ValueError, match="backend"):
+        _run(workers=2, backend="fiber")
 
 
 def test_grid_covers_all_paper_combinations():

@@ -148,6 +148,19 @@ class TestDatabaseKnobs:
         registry.set_knobs({"replication_storage_budget": spec.high})
         assert column.storage_budget == spec.high
 
+    def test_read_workers_knob_appears_with_snapshot_capable_column(
+        self, adaptive_database
+    ):
+        registry = database_knobs(adaptive_database)
+        assert "read_workers" in registry
+        spec = registry.spec("read_workers")
+        assert spec.layer == "engine"
+        assert (spec.low, spec.high) == (1, 8)
+        assert adaptive_database.read_workers == 1
+        registry.set_knobs({"read_workers": 4.6})
+        assert adaptive_database.read_workers == 5  # integer knob rounds
+        assert registry.knobs()["read_workers"] == 5.0
+
 
 class TestServerRegistry:
     def test_admission_knobs_mutate_live(self):
